@@ -1,0 +1,165 @@
+#ifndef SES_BENCH_BENCH_COMMON_H_
+#define SES_BENCH_BENCH_COMMON_H_
+
+/// \file
+/// Shared scaffolding for the figure-reproduction benches: dataset
+/// construction at a configurable scale, sweep execution, and output.
+///
+/// Every figure binary accepts:
+///   --scale=paper|medium|small   dataset + sweep size (default: medium)
+///   --csv=PATH                   also dump the series as CSV
+///   --seed=N                     workload seed
+///
+/// "paper" matches Section IV-A exactly (42,444 users, 16k-event catalog,
+/// k up to 500). "medium" keeps the paper's *structure* (|T| = 3k/2,
+/// |E| = 2k, competing mean 8.1, theta, xi, 25 locations) at roughly
+/// quarter scale so the full suite completes in minutes on a laptop.
+
+#include <string>
+#include <vector>
+
+#include "ebsn/generator.h"
+#include "exp/figures.h"
+#include "exp/runner.h"
+#include "exp/workload.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace ses::bench {
+
+/// Scale-dependent knobs.
+struct BenchScale {
+  ebsn::SyntheticMeetupConfig dataset;
+  /// k values for the k sweeps (Figs. 1a/1b).
+  std::vector<int64_t> k_sweep;
+  /// Default k for the |T| sweeps (Figs. 1c/1d); the paper uses 100.
+  int64_t default_k = 100;
+  /// |T| values as multiples of k, expressed in tenths (the paper sweeps
+  /// k/5 .. 3k): {2, 5, 10, 15, 20, 30} -> 0.2k .. 3k.
+  std::vector<int64_t> t_over_k_tenths{2, 5, 10, 15, 20, 30};
+};
+
+/// Resolves a named scale.
+inline BenchScale MakeScale(const std::string& name) {
+  BenchScale scale;
+  if (name == "paper") {
+    // Section IV-A: Meetup California scale.
+    scale.dataset = ebsn::SyntheticMeetupConfig{};
+    scale.k_sweep = {100, 200, 300, 400, 500};
+    scale.default_k = 100;
+    return scale;
+  }
+  if (name == "medium") {
+    scale.dataset.num_users = 12000;
+    scale.dataset.num_events = 6000;
+    scale.dataset.num_groups = 800;
+    scale.dataset.num_tags = 400;
+    scale.k_sweep = {50, 100, 150, 200, 250};
+    scale.default_k = 50;
+    return scale;
+  }
+  if (name == "small") {
+    scale.dataset.num_users = 2500;
+    scale.dataset.num_events = 1500;
+    scale.dataset.num_groups = 250;
+    scale.dataset.num_tags = 200;
+    scale.k_sweep = {20, 40, 60, 80, 100};
+    scale.default_k = 20;
+    return scale;
+  }
+  SES_LOG(kFatal) << "unknown --scale: " << name
+                  << " (want paper|medium|small)";
+  return scale;
+}
+
+/// Flags shared by every figure bench.
+struct FigureArgs {
+  std::string scale = "medium";
+  std::string csv;
+  int64_t seed = 7;
+};
+
+/// Parses the common flags; exits the process with usage on error.
+inline FigureArgs ParseFigureArgs(const char* program, int argc,
+                                  const char* const* argv) {
+  FigureArgs args;
+  util::FlagSet flags(program);
+  flags.AddString("scale", &args.scale, "paper|medium|small");
+  flags.AddString("csv", &args.csv, "optional CSV output path");
+  flags.AddInt("seed", &args.seed, "workload seed");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    SES_LOG(kError) << status.ToString();
+    std::fputs(flags.Usage().c_str(), stderr);
+    std::exit(2);
+  }
+  return args;
+}
+
+/// Runs the paper methods over a k sweep (Figs. 1a/1b).
+inline std::vector<exp::RunRecord> RunKSweep(
+    const exp::WorkloadFactory& factory, const BenchScale& scale,
+    const std::vector<std::string>& solvers, uint64_t seed) {
+  std::vector<exp::RunRecord> records;
+  for (int64_t k : scale.k_sweep) {
+    exp::PaperWorkloadConfig config;
+    config.k = k;
+    config.seed = seed + static_cast<uint64_t>(k);
+    auto instance = factory.Build(config);
+    SES_CHECK(instance.ok()) << instance.status().ToString();
+    core::SolverOptions options;
+    options.k = k;
+    options.seed = seed;
+    auto rows = exp::RunSolvers(*instance, solvers, options, k);
+    SES_CHECK(rows.ok()) << rows.status().ToString();
+    records.insert(records.end(), rows->begin(), rows->end());
+    SES_LOG(kInfo) << "k=" << k << " done";
+  }
+  return records;
+}
+
+/// Runs the paper methods over a |T| sweep at fixed k (Figs. 1c/1d).
+inline std::vector<exp::RunRecord> RunTSweep(
+    const exp::WorkloadFactory& factory, const BenchScale& scale,
+    const std::vector<std::string>& solvers, uint64_t seed) {
+  std::vector<exp::RunRecord> records;
+  for (int64_t tenths : scale.t_over_k_tenths) {
+    const int64_t intervals =
+        std::max<int64_t>(1, scale.default_k * tenths / 10);
+    exp::PaperWorkloadConfig config;
+    config.k = scale.default_k;
+    config.num_intervals = intervals;
+    config.seed = seed + static_cast<uint64_t>(intervals);
+    auto instance = factory.Build(config);
+    SES_CHECK(instance.ok()) << instance.status().ToString();
+    core::SolverOptions options;
+    options.k = scale.default_k;
+    options.seed = seed;
+    auto rows = exp::RunSolvers(*instance, solvers, options, intervals);
+    SES_CHECK(rows.ok()) << rows.status().ToString();
+    records.insert(records.end(), rows->begin(), rows->end());
+    SES_LOG(kInfo) << "|T|=" << intervals << " done";
+  }
+  return records;
+}
+
+/// Writes the optional CSV and prints the rendered figure.
+inline void EmitFigure(const FigureArgs& args, const std::string& title,
+                       const std::string& x_label,
+                       const std::vector<std::string>& solvers,
+                       const std::vector<exp::RunRecord>& records,
+                       exp::Metric metric) {
+  if (!args.csv.empty()) {
+    auto status = exp::WriteRecordsCsv(args.csv, records);
+    if (!status.ok()) {
+      SES_LOG(kError) << status.ToString();
+    }
+  }
+  std::fputs(exp::RenderFigure(title, x_label, solvers, records, metric)
+                 .c_str(),
+             stdout);
+}
+
+}  // namespace ses::bench
+
+#endif  // SES_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,30 @@
+/// Reproduces Figure 1b: execution time of GRD / TOP / RAND as k grows.
+///
+/// Expected shape: TOP's time is dominated by the one-off initial score
+/// computation and stays nearly flat in k, while GRD additionally pays
+/// k rounds of score updates, so the GRD-TOP gap grows with k. RAND is
+/// orders of magnitude cheaper throughout.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ses;
+  const bench::FigureArgs args =
+      bench::ParseFigureArgs("fig1b_time_vs_k", argc, argv);
+  const bench::BenchScale scale = bench::MakeScale(args.scale);
+
+  std::printf("Fig 1b — Time vs k (scale=%s, %u users)\n",
+              args.scale.c_str(), scale.dataset.num_users);
+  const ebsn::EbsnDataset dataset =
+      ebsn::GenerateSyntheticMeetup(scale.dataset);
+  const exp::WorkloadFactory factory(dataset);
+
+  const std::vector<std::string> solvers{"grd", "top", "rand"};
+  const auto records = bench::RunKSweep(factory, scale, solvers,
+                                        static_cast<uint64_t>(args.seed));
+  bench::EmitFigure(args, "Fig 1b: Time (seconds) vs k", "k", solvers,
+                    records, exp::Metric::kSeconds);
+  return 0;
+}

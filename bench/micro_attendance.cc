@@ -1,0 +1,118 @@
+/// Microbenchmarks of the attendance-model kernels: Eq. 4 marginal-gain
+/// evaluation, Apply, interval-scratch reloads, and the reference
+/// objective. google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "core/attendance.h"
+#include "core/objective.h"
+#include "ebsn/generator.h"
+#include "exp/workload.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ses;
+
+/// Builds one mid-sized instance shared by all attendance benchmarks.
+const core::SesInstance& BenchInstance() {
+  static const core::SesInstance* instance = [] {
+    util::SetLogLevel(util::LogLevel::kWarning);
+    ebsn::SyntheticMeetupConfig dataset_config;
+    dataset_config.num_users = 5000;
+    dataset_config.num_events = 2000;
+    dataset_config.num_groups = 300;
+    dataset_config.num_tags = 250;
+    dataset_config.seed = 1;
+    static const ebsn::EbsnDataset dataset =
+        ebsn::GenerateSyntheticMeetup(dataset_config);
+    static const exp::WorkloadFactory factory(dataset);
+    exp::PaperWorkloadConfig config;
+    config.k = 40;
+    config.seed = 2;
+    auto built = factory.Build(config);
+    SES_CHECK(built.ok()) << built.status().ToString();
+    return new core::SesInstance(std::move(built).value());
+  }();
+  return *instance;
+}
+
+void BM_MarginalGainSameInterval(benchmark::State& state) {
+  const core::SesInstance& instance = BenchInstance();
+  core::AttendanceModel model(instance);
+  core::EventIndex e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.MarginalGain(e, 0));
+    e = (e + 1) % instance.num_events();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MarginalGainSameInterval);
+
+void BM_MarginalGainIntervalSwitch(benchmark::State& state) {
+  const core::SesInstance& instance = BenchInstance();
+  core::AttendanceModel model(instance);
+  core::IntervalIndex t = 0;
+  for (auto _ : state) {
+    // Alternating intervals forces a scratch reload every call — the
+    // worst case for the dense-scratch design.
+    benchmark::DoNotOptimize(model.MarginalGain(0, t));
+    t = (t + 1) % instance.num_intervals();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MarginalGainIntervalSwitch);
+
+void BM_ApplyUnapply(benchmark::State& state) {
+  const core::SesInstance& instance = BenchInstance();
+  core::AttendanceModel model(instance);
+  for (auto _ : state) {
+    model.Apply(0, 0);
+    model.Unapply(0);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ApplyUnapply);
+
+void BM_ReferenceTotalUtility(benchmark::State& state) {
+  const core::SesInstance& instance = BenchInstance();
+  core::Schedule schedule(instance);
+  // Schedule ~20 events round-robin over intervals.
+  core::IntervalIndex t = 0;
+  for (core::EventIndex e = 0; e < instance.num_events() &&
+                               schedule.size() < 20;
+       ++e) {
+    if (schedule.CanAssign(e, t)) {
+      SES_CHECK(schedule.Assign(e, t).ok());
+      t = (t + 1) % instance.num_intervals();
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TotalUtility(instance, schedule));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReferenceTotalUtility);
+
+void BM_InitialScoreGeneration(benchmark::State& state) {
+  const core::SesInstance& instance = BenchInstance();
+  for (auto _ : state) {
+    core::AttendanceModel model(instance);
+    double sum = 0.0;
+    for (core::IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      for (core::EventIndex e = 0; e < instance.num_events(); ++e) {
+        sum += model.MarginalGain(e, t);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(BenchInstance().num_events()) *
+      BenchInstance().num_intervals());
+}
+BENCHMARK(BM_InitialScoreGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/// Microbenchmarks of the data pipeline: synthetic-dataset generation,
+/// Jaccard inverted-index construction, per-event interest extraction and
+/// full workload materialization. google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "ebsn/generator.h"
+#include "ebsn/interest.h"
+#include "exp/workload.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ses;
+
+ebsn::SyntheticMeetupConfig SmallDatasetConfig() {
+  ebsn::SyntheticMeetupConfig config;
+  config.num_users = 3000;
+  config.num_events = 1200;
+  config.num_groups = 200;
+  config.num_tags = 200;
+  config.seed = 9;
+  return config;
+}
+
+const ebsn::EbsnDataset& SmallDataset() {
+  static const ebsn::EbsnDataset* dataset = [] {
+    util::SetLogLevel(util::LogLevel::kWarning);
+    return new ebsn::EbsnDataset(
+        ebsn::GenerateSyntheticMeetup(SmallDatasetConfig()));
+  }();
+  return *dataset;
+}
+
+void BM_GenerateDataset(benchmark::State& state) {
+  ebsn::SyntheticMeetupConfig config = SmallDatasetConfig();
+  config.num_users = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ebsn::GenerateSyntheticMeetup(config));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GenerateDataset)->Arg(1000)->Arg(3000)->Arg(10000);
+
+void BM_BuildInterestIndex(benchmark::State& state) {
+  const ebsn::EbsnDataset& dataset = SmallDataset();
+  for (auto _ : state) {
+    ebsn::InterestModel model(dataset);
+    benchmark::DoNotOptimize(&model);
+  }
+}
+BENCHMARK(BM_BuildInterestIndex);
+
+void BM_EventInterests(benchmark::State& state) {
+  const ebsn::EbsnDataset& dataset = SmallDataset();
+  ebsn::InterestModel model(dataset);
+  size_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.EventInterests(dataset.events()[e].tags, 0.05f));
+    e = (e + 1) % dataset.events().size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventInterests);
+
+void BM_BuildWorkload(benchmark::State& state) {
+  const ebsn::EbsnDataset& dataset = SmallDataset();
+  const exp::WorkloadFactory factory(dataset);
+  exp::PaperWorkloadConfig config;
+  config.k = static_cast<int64_t>(state.range(0));
+  for (auto _ : state) {
+    auto instance = factory.Build(config);
+    SES_CHECK(instance.ok());
+    benchmark::DoNotOptimize(&instance);
+  }
+}
+BENCHMARK(BM_BuildWorkload)->Arg(10)->Arg(25)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

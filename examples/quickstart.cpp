@@ -1,0 +1,80 @@
+/// Quickstart: build a tiny SES instance by hand, run the paper's greedy
+/// scheduler, and inspect the resulting schedule.
+///
+///   ./quickstart
+///
+/// The scenario is the paper's introduction in miniature: a festival
+/// wants to place three candidate events (a pop concert, a fashion show,
+/// a theater play) into two evening slots while a competing venue runs a
+/// pop gig in slot 0.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/greedy.h"
+#include "core/instance.h"
+#include "core/objective.h"
+#include "core/validate.h"
+
+int main() {
+  using namespace ses;
+
+  // Three users: Alice loves pop + fashion, Bob loves pop, Carol loves
+  // theater.
+  constexpr core::UserIndex kAlice = 0;
+  constexpr core::UserIndex kBob = 1;
+  constexpr core::UserIndex kCarol = 2;
+
+  core::InstanceBuilder builder;
+  builder.SetNumUsers(3)
+      .SetNumIntervals(2)  // Monday evening, Tuesday evening
+      .SetTheta(10.0)      // staff available per slot
+      .SetSigma(std::make_shared<core::ConstSigma>(0.9));
+
+  // Candidate events: (location/stage, required staff, interested users).
+  const core::EventIndex pop_concert =
+      builder.AddEvent(0, 4.0, {{kAlice, 0.9f}, {kBob, 0.8f}});
+  const core::EventIndex fashion_show =
+      builder.AddEvent(1, 3.0, {{kAlice, 0.7f}});
+  const core::EventIndex theater_play =
+      builder.AddEvent(0, 5.0, {{kCarol, 0.8f}});
+
+  // A competing venue hosts a pop gig during slot 0; it pulls on Alice
+  // and Bob if our events land in the same slot.
+  builder.AddCompetingEvent(0, {{kAlice, 0.6f}, {kBob, 0.6f}});
+
+  auto instance = builder.Build();
+  if (!instance.ok()) {
+    std::fprintf(stderr, "failed to build instance: %s\n",
+                 instance.status().ToString().c_str());
+    return 1;
+  }
+
+  // Schedule k = 2 of the 3 candidates with the paper's GRD.
+  core::GreedySolver grd;
+  core::SolverOptions options;
+  options.k = 2;
+  auto result = grd.Solve(*instance, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* names[] = {"pop-concert", "fashion-show", "theater-play"};
+  std::printf("GRD schedule (k=2):\n");
+  for (const core::Assignment& a : result->assignments) {
+    std::printf("  slot %u <- %s\n", a.interval, names[a.event]);
+  }
+  std::printf("expected attendance (Omega): %.3f people\n",
+              result->utility);
+
+  // The result is guaranteed feasible; double-check like a downstream
+  // consumer would.
+  auto valid = core::ValidateAssignments(*instance, result->assignments, 2);
+  std::printf("validation: %s\n", valid.ToString().c_str());
+  (void)pop_concert;
+  (void)fashion_show;
+  (void)theater_play;
+  return valid.ok() ? 0 : 1;
+}

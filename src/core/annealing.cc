@@ -1,0 +1,86 @@
+#include "core/annealing.h"
+
+#include <cmath>
+
+#include "core/local_search.h"
+#include "core/objective.h"
+#include "core/random_schedule.h"
+#include "core/greedy.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+util::Result<SolverResult> SimulatedAnnealingSolver::Solve(
+    const SesInstance& instance, const SolverOptions& options) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  if (options.initial_temperature <= 0.0) {
+    return util::Status::InvalidArgument(
+        "initial_temperature must be positive");
+  }
+  if (options.cooling <= 0.0 || options.cooling >= 1.0) {
+    return util::Status::InvalidArgument("cooling must be in (0,1)");
+  }
+  util::WallTimer timer;
+
+  SolverResult base;
+  if (options.base_solver == BaseSolver::kGreedy) {
+    GreedySolver greedy;
+    auto seeded = greedy.Solve(instance, options);
+    if (!seeded.ok()) return seeded.status();
+    base = std::move(seeded).value();
+  } else {
+    RandomSolver random;
+    auto seeded = random.Solve(instance, options);
+    if (!seeded.ok()) return seeded.status();
+    base = std::move(seeded).value();
+  }
+
+  AttendanceModel model(instance);
+  for (const Assignment& a : base.assignments) {
+    model.Apply(a.event, a.interval);
+  }
+
+  util::Rng rng(options.seed ^ 0x5adc0ffee1234567ULL);
+  MoveEngine engine(instance, model, rng);
+  SolverStats stats;
+
+  double temperature = options.initial_temperature;
+  double best_utility = model.total_utility();
+  std::vector<Assignment> best = model.schedule().Assignments();
+
+  for (int64_t i = 0; i < options.max_iterations; ++i) {
+    const auto accept = [&](double delta) {
+      if (delta > 0.0) return true;
+      if (temperature <= 1e-12) return false;
+      return rng.NextDouble() < std::exp(delta / temperature);
+    };
+    bool accepted = false;
+    if (!engine.TryRandomMove(accept, &accepted)) break;
+    ++stats.moves_tried;
+    if (accepted) {
+      ++stats.moves_accepted;
+      if (model.total_utility() > best_utility) {
+        best_utility = model.total_utility();
+        best = model.schedule().Assignments();
+      }
+    }
+    temperature *= options.cooling;
+  }
+  stats.gain_evaluations = model.gain_evaluations();
+
+  // Report the best schedule visited, re-evaluated exactly.
+  Schedule schedule(instance);
+  for (const Assignment& a : best) {
+    SES_CHECK(schedule.Assign(a.event, a.interval).ok());
+  }
+
+  SolverResult result;
+  result.assignments = std::move(best);
+  result.utility = TotalUtility(instance, schedule);
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  result.solver = std::string(name());
+  return result;
+}
+
+}  // namespace ses::core

@@ -1,0 +1,123 @@
+#include "core/attendance.h"
+
+#include "util/logging.h"
+
+namespace ses::core {
+
+AttendanceModel::AttendanceModel(const SesInstance& instance)
+    : instance_(&instance),
+      schedule_(instance),
+      denom_(instance.num_users(), 0.0),
+      sched_mass_(instance.num_users(), 0.0),
+      sigma_row_(instance.num_users(), 0.0f) {
+  touched_.reserve(1024);
+}
+
+void AttendanceModel::LoadInterval(IntervalIndex t) {
+  if (loaded_ == t) return;
+  // Reset only the entries touched by the previously loaded interval.
+  for (UserIndex u : touched_) {
+    denom_[u] = 0.0;
+    sched_mass_[u] = 0.0;
+  }
+  touched_.clear();
+  loaded_ = t;
+
+  for (CompetingIndex c : instance_->CompetingAt(t)) {
+    auto users = instance_->CompetingUsers(c);
+    auto values = instance_->CompetingValues(c);
+    for (size_t i = 0; i < users.size(); ++i) {
+      const UserIndex u = users[i];
+      if (denom_[u] == 0.0) touched_.push_back(u);
+      denom_[u] += static_cast<double>(values[i]);
+    }
+  }
+  for (EventIndex p : schedule_.EventsAt(t)) {
+    auto users = instance_->EventUsers(p);
+    auto values = instance_->EventValues(p);
+    for (size_t i = 0; i < users.size(); ++i) {
+      const UserIndex u = users[i];
+      if (denom_[u] == 0.0) touched_.push_back(u);
+      denom_[u] += static_cast<double>(values[i]);
+      sched_mass_[u] += static_cast<double>(values[i]);
+    }
+  }
+  instance_->sigma().FillInterval(t, sigma_row_);
+}
+
+void AttendanceModel::TouchLoaded(EventIndex e, double sign) {
+  auto users = instance_->EventUsers(e);
+  auto values = instance_->EventValues(e);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserIndex u = users[i];
+    const double mu = sign * static_cast<double>(values[i]);
+    if (denom_[u] == 0.0 && mu > 0.0) touched_.push_back(u);
+    denom_[u] += mu;
+    sched_mass_[u] += mu;
+    // Guard against negative residue from floating-point cancellation.
+    if (denom_[u] < 0.0) denom_[u] = 0.0;
+    if (sched_mass_[u] < 0.0) sched_mass_[u] = 0.0;
+  }
+}
+
+double AttendanceModel::MarginalGain(EventIndex e, IntervalIndex t) {
+  SES_CHECK(!schedule_.IsAssigned(e)) << "gain is defined for new events";
+  LoadInterval(t);
+  ++gain_evaluations_;
+
+  auto users = instance_->EventUsers(e);
+  auto values = instance_->EventValues(e);
+  double gain = 0.0;
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserIndex u = users[i];
+    const double x = static_cast<double>(values[i]);
+    const double d = denom_[u];
+    const double m = sched_mass_[u];
+    // (M + x) / (D + x) - M / D; the old term vanishes when D == 0
+    // (then M == 0 as well and the new term is x / x = 1).
+    const double term_new = (m + x) / (d + x);
+    const double term_old = d > 0.0 ? m / d : 0.0;
+    gain += static_cast<double>(sigma_row_[u]) * (term_new - term_old);
+  }
+  return gain;
+}
+
+void AttendanceModel::Apply(EventIndex e, IntervalIndex t) {
+  const double gain = MarginalGain(e, t);
+  --gain_evaluations_;  // internal bookkeeping, not a solver evaluation
+  SES_CHECK(schedule_.Assign(e, t).ok())
+      << "Apply requires a valid assignment";
+  TouchLoaded(e, +1.0);
+  total_utility_ += gain;
+}
+
+void AttendanceModel::Unapply(EventIndex e) {
+  const IntervalIndex t = schedule_.IntervalOf(e);
+  SES_CHECK_NE(t, kInvalidIndex) << "Unapply requires an assigned event";
+  LoadInterval(t);
+
+  // Loss mirrors the gain formula: contribution of the interval with e
+  // minus the contribution without it. Here D and M already include e.
+  auto users = instance_->EventUsers(e);
+  auto values = instance_->EventValues(e);
+  double loss = 0.0;
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserIndex u = users[i];
+    const double x = static_cast<double>(values[i]);
+    const double d = denom_[u];
+    const double m = sched_mass_[u];
+    const double term_with = d > 0.0 ? m / d : 0.0;
+    const double d_without = d - x;
+    const double m_without = m - x;
+    const double term_without =
+        d_without > 1e-12 ? (m_without > 0.0 ? m_without / d_without : 0.0)
+                          : 0.0;
+    loss += static_cast<double>(sigma_row_[u]) * (term_with - term_without);
+  }
+
+  SES_CHECK(schedule_.Unassign(e).ok());
+  TouchLoaded(e, -1.0);
+  total_utility_ -= loss;
+}
+
+}  // namespace ses::core

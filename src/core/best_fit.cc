@@ -1,0 +1,72 @@
+#include "core/best_fit.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/attendance.h"
+#include "core/objective.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+util::Result<SolverResult> BestFitSolver::Solve(
+    const SesInstance& instance, const SolverOptions& options) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  util::WallTimer timer;
+
+  AttendanceModel model(instance);
+  for (const Assignment& a : options.warm_start) {
+    SES_CHECK(model.CanAssign(a.event, a.interval))
+        << "warm-start assignment infeasible";
+    model.Apply(a.event, a.interval);
+  }
+  SolverStats stats;
+
+  // Pass 1: optimistic per-event priority = best empty-schedule score.
+  std::vector<double> priority(instance.num_events(), 0.0);
+  for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+    for (EventIndex e = 0; e < instance.num_events(); ++e) {
+      if (model.schedule().IsAssigned(e)) continue;  // warm-started
+      priority[e] = std::max(priority[e], model.MarginalGain(e, t));
+    }
+  }
+  std::vector<EventIndex> order(instance.num_events());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&priority](EventIndex a, EventIndex b) {
+              return priority[a] > priority[b];
+            });
+
+  // Pass 2: each event takes its currently-best feasible interval.
+  const size_t k = static_cast<size_t>(options.k);
+  for (EventIndex e : order) {
+    if (model.schedule().size() >= k) break;
+    if (model.schedule().IsAssigned(e)) continue;  // warm-started
+    double best_gain = -1.0;
+    IntervalIndex best_interval = kInvalidIndex;
+    for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      if (!model.CanAssign(e, t)) continue;
+      const double gain = model.MarginalGain(e, t);
+      ++stats.updates;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_interval = t;
+      }
+    }
+    if (best_interval == kInvalidIndex) continue;  // nowhere to place it
+    model.Apply(e, best_interval);
+    ++stats.pops;
+  }
+
+  stats.gain_evaluations = model.gain_evaluations();
+
+  SolverResult result;
+  result.assignments = model.schedule().Assignments();
+  result.utility = TotalUtility(instance, model.schedule());
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  result.solver = std::string(name());
+  return result;
+}
+
+}  // namespace ses::core

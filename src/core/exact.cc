@@ -1,0 +1,150 @@
+#include "core/exact.h"
+
+#include <algorithm>
+
+#include "core/attendance.h"
+#include "core/objective.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+namespace {
+
+/// DFS state shared across the recursion.
+struct SearchContext {
+  explicit SearchContext(const SesInstance& inst)
+      : instance(&inst), model(inst) {}
+
+  const SesInstance* instance;
+  AttendanceModel model;
+  size_t k = 0;
+  uint64_t max_nodes = 0;
+  uint64_t nodes = 0;
+  bool budget_exhausted = false;
+
+  /// upper_bound[e] = max over t of the empty-schedule score of (e, t).
+  std::vector<double> event_upper_bound;
+  /// suffix_top_[e][j]: sum of the j largest upper bounds among events
+  /// >= e. Stored flattened; see SuffixBound().
+  std::vector<std::vector<double>> suffix_top;
+
+  double best_utility = -1.0;
+  std::vector<Assignment> best_assignments;
+};
+
+/// Sum of the \p need largest event upper bounds among events >= from.
+double SuffixBound(const SearchContext& ctx, EventIndex from, size_t need) {
+  if (need == 0) return 0.0;
+  if (from >= ctx.suffix_top.size()) return 0.0;
+  const auto& sums = ctx.suffix_top[from];
+  if (sums.empty()) return 0.0;
+  const size_t idx = std::min(need, sums.size() - 1);
+  return sums[idx];
+}
+
+void Dfs(SearchContext& ctx, EventIndex next_event, size_t chosen) {
+  if (ctx.budget_exhausted) return;
+  if (++ctx.nodes > ctx.max_nodes) {
+    ctx.budget_exhausted = true;
+    return;
+  }
+
+  if (chosen == ctx.k) {
+    const double utility = ctx.model.total_utility();
+    if (utility > ctx.best_utility) {
+      ctx.best_utility = utility;
+      ctx.best_assignments = ctx.model.schedule().Assignments();
+    }
+    return;
+  }
+
+  const size_t remaining_needed = ctx.k - chosen;
+  const uint32_t num_events = ctx.instance->num_events();
+  // Not enough events left to reach k.
+  if (next_event >= num_events ||
+      num_events - next_event < remaining_needed) {
+    return;
+  }
+
+  // Bound check.
+  const double bound =
+      ctx.model.total_utility() + SuffixBound(ctx, next_event, remaining_needed);
+  if (bound <= ctx.best_utility + 1e-12) return;
+
+  // Branch 1..|T|: place next_event at each feasible interval.
+  for (IntervalIndex t = 0; t < ctx.instance->num_intervals(); ++t) {
+    if (!ctx.model.CanAssign(next_event, t)) continue;
+    ctx.model.Apply(next_event, t);
+    Dfs(ctx, next_event + 1, chosen + 1);
+    ctx.model.Unapply(next_event);
+    if (ctx.budget_exhausted) return;
+  }
+
+  // Branch 0: skip next_event entirely.
+  Dfs(ctx, next_event + 1, chosen);
+}
+
+}  // namespace
+
+util::Result<SolverResult> ExactSolver::Solve(const SesInstance& instance,
+                                              const SolverOptions& options) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  util::WallTimer timer;
+
+  SearchContext ctx(instance);
+  ctx.k = static_cast<size_t>(options.k);
+  ctx.max_nodes = options.max_nodes;
+
+  // Per-event optimistic scores on the empty schedule.
+  ctx.event_upper_bound.assign(instance.num_events(), 0.0);
+  {
+    AttendanceModel probe(instance);
+    for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      for (EventIndex e = 0; e < instance.num_events(); ++e) {
+        ctx.event_upper_bound[e] =
+            std::max(ctx.event_upper_bound[e], probe.MarginalGain(e, t));
+      }
+    }
+  }
+
+  // suffix_top[e][j] = sum of j largest upper bounds among events >= e.
+  ctx.suffix_top.resize(instance.num_events() + 1);
+  ctx.suffix_top[instance.num_events()] = {0.0};
+  for (EventIndex e = instance.num_events(); e-- > 0;) {
+    std::vector<double> tail(ctx.event_upper_bound.begin() + e,
+                             ctx.event_upper_bound.end());
+    std::sort(tail.begin(), tail.end(), std::greater<double>());
+    const size_t cap = std::min(tail.size(), ctx.k);
+    std::vector<double> sums(cap + 1, 0.0);
+    for (size_t j = 0; j < cap; ++j) sums[j + 1] = sums[j] + tail[j];
+    ctx.suffix_top[e] = std::move(sums);
+  }
+
+  Dfs(ctx, 0, 0);
+
+  if (ctx.budget_exhausted) {
+    return util::Status::ResourceExhausted(
+        "exact solver exceeded its node budget; instance too large");
+  }
+  if (ctx.best_utility < 0.0) {
+    // No feasible size-k schedule exists.
+    return util::Status::Infeasible(
+        "no feasible schedule with k assignments");
+  }
+
+  SolverResult result;
+  result.assignments = std::move(ctx.best_assignments);
+  // Recompute the utility through the reference objective.
+  Schedule schedule(instance);
+  for (const Assignment& a : result.assignments) {
+    SES_CHECK(schedule.Assign(a.event, a.interval).ok());
+  }
+  result.utility = TotalUtility(instance, schedule);
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.stats.nodes = ctx.nodes;
+  result.stats.gain_evaluations = ctx.model.gain_evaluations();
+  result.solver = std::string(name());
+  return result;
+}
+
+}  // namespace ses::core

@@ -1,0 +1,92 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+
+#include "core/attendance.h"
+#include "core/objective.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+namespace {
+
+/// One entry of the assignment list L.
+struct ScoredAssignment {
+  EventIndex event;
+  IntervalIndex interval;
+  double score;
+};
+
+}  // namespace
+
+util::Result<SolverResult> GreedySolver::Solve(const SesInstance& instance,
+                                               const SolverOptions& options) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  util::WallTimer timer;
+
+  AttendanceModel model(instance);
+  for (const Assignment& a : options.warm_start) {
+    SES_CHECK(model.CanAssign(a.event, a.interval))
+        << "warm-start assignment infeasible";
+    model.Apply(a.event, a.interval);
+  }
+  SolverStats stats;
+
+  // Algorithm 1, lines 2-4: generate all assignments with their scores.
+  // Interval-major order so the attendance engine loads each interval's
+  // scratch exactly once during generation.
+  std::vector<ScoredAssignment> list;
+  list.reserve(static_cast<size_t>(instance.num_events()) *
+               instance.num_intervals());
+  for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+    for (EventIndex e = 0; e < instance.num_events(); ++e) {
+      if (model.schedule().IsAssigned(e)) continue;  // warm-started
+      list.push_back({e, t, model.MarginalGain(e, t)});
+    }
+  }
+
+  const size_t k = static_cast<size_t>(options.k);
+  // Algorithm 1, lines 5-13.
+  while (model.schedule().size() < k && !list.empty()) {
+    // popTopAssgn: find and remove the largest-score assignment.
+    size_t best = 0;
+    for (size_t i = 1; i < list.size(); ++i) {
+      if (list[i].score > list[best].score) best = i;
+    }
+    ++stats.pops;
+    const ScoredAssignment top = list[best];
+    list[best] = list.back();
+    list.pop_back();
+
+    if (!model.CanAssign(top.event, top.interval)) continue;
+    model.Apply(top.event, top.interval);
+
+    if (model.schedule().size() >= k) break;
+
+    // Update pass: recompute scores of valid assignments referring to the
+    // chosen interval; remove invalid assignments from L.
+    size_t write = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      ScoredAssignment a = list[i];
+      if (!model.CanAssign(a.event, a.interval)) continue;  // drop
+      if (a.interval == top.interval) {
+        a.score = model.MarginalGain(a.event, a.interval);
+        ++stats.updates;
+      }
+      list[write++] = a;
+    }
+    list.resize(write);
+  }
+
+  stats.gain_evaluations = model.gain_evaluations();
+
+  SolverResult result;
+  result.assignments = model.schedule().Assignments();
+  result.utility = TotalUtility(instance, model.schedule());
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  result.solver = std::string(name());
+  return result;
+}
+
+}  // namespace ses::core

@@ -1,0 +1,188 @@
+#ifndef SES_CORE_INSTANCE_H_
+#define SES_CORE_INSTANCE_H_
+
+/// \file
+/// The SES problem instance: candidate events E, disjoint time intervals
+/// T, competing events C, users U, interest function mu, activity
+/// probabilities sigma, organizer resources theta (paper Section II).
+///
+/// Interests are stored as CSR sparse rows (event -> sorted (user, mu)
+/// pairs); virtually all users have zero interest in any given event, and
+/// every algorithm in this library only ever iterates the non-zero
+/// entries.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/sigma.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace ses::core {
+
+/// Static properties of a candidate event.
+struct CandidateEventInfo {
+  /// The place (stage) hosting the event; unique per interval.
+  LocationId location = 0;
+  /// Resources xi_e required to organize the event.
+  double required_resources = 0.0;
+};
+
+/// Static properties of a competing (third-party, pre-scheduled) event.
+struct CompetingEventInfo {
+  /// The interval the third party scheduled it at.
+  IntervalIndex interval = kInvalidIndex;
+};
+
+/// CSR container of sparse per-event interest rows.
+class InterestRows {
+ public:
+  /// Appends a row; \p entries must be sorted by user and hold mu in
+  /// (0, 1]. Returns the row id.
+  uint32_t AddRow(std::span<const std::pair<UserIndex, float>> entries);
+
+  /// Number of rows.
+  size_t num_rows() const { return offsets_.size() - 1; }
+
+  /// Total non-zero entries.
+  size_t num_entries() const { return users_.size(); }
+
+  /// Sorted user ids of row \p row.
+  std::span<const UserIndex> RowUsers(uint32_t row) const;
+
+  /// Interest values parallel to RowUsers(row).
+  std::span<const float> RowValues(uint32_t row) const;
+
+  /// Looks up mu(user, row); 0 when absent.
+  float ValueAt(uint32_t row, UserIndex user) const;
+
+ private:
+  std::vector<uint64_t> offsets_{0};
+  std::vector<UserIndex> users_;
+  std::vector<float> values_;
+};
+
+/// An immutable SES instance. Build through InstanceBuilder.
+class SesInstance {
+ public:
+  /// Number of users |U|.
+  uint32_t num_users() const { return num_users_; }
+
+  /// Number of candidate events |E|.
+  uint32_t num_events() const {
+    return static_cast<uint32_t>(events_.size());
+  }
+
+  /// Number of disjoint time intervals |T|.
+  uint32_t num_intervals() const { return num_intervals_; }
+
+  /// Number of competing events |C|.
+  uint32_t num_competing() const {
+    return static_cast<uint32_t>(competing_.size());
+  }
+
+  /// Organizer resources theta available within any single interval.
+  double theta() const { return theta_; }
+
+  /// Candidate event metadata.
+  const CandidateEventInfo& event(EventIndex e) const;
+
+  /// Competing event metadata.
+  const CompetingEventInfo& competing(CompetingIndex c) const;
+
+  /// Competing events pre-scheduled at interval \p t (C_t).
+  std::span<const CompetingIndex> CompetingAt(IntervalIndex t) const;
+
+  /// Sparse interest row of candidate event \p e.
+  std::span<const UserIndex> EventUsers(EventIndex e) const {
+    return event_interest_.RowUsers(e);
+  }
+  std::span<const float> EventValues(EventIndex e) const {
+    return event_interest_.RowValues(e);
+  }
+
+  /// mu(user, candidate event); 0 when the user is uninterested.
+  float EventInterest(EventIndex e, UserIndex u) const {
+    return event_interest_.ValueAt(e, u);
+  }
+
+  /// Sparse interest row of competing event \p c.
+  std::span<const UserIndex> CompetingUsers(CompetingIndex c) const {
+    return competing_interest_.RowUsers(c);
+  }
+  std::span<const float> CompetingValues(CompetingIndex c) const {
+    return competing_interest_.RowValues(c);
+  }
+
+  /// mu(user, competing event); 0 when the user is uninterested.
+  float CompetingInterest(CompetingIndex c, UserIndex u) const {
+    return competing_interest_.ValueAt(c, u);
+  }
+
+  /// The activity-probability provider sigma.
+  const SigmaProvider& sigma() const { return *sigma_; }
+
+  /// Total non-zero candidate interest entries (for reporting).
+  size_t num_interest_entries() const {
+    return event_interest_.num_entries();
+  }
+
+ private:
+  friend class InstanceBuilder;
+  SesInstance() = default;
+
+  uint32_t num_users_ = 0;
+  uint32_t num_intervals_ = 0;
+  double theta_ = 0.0;
+  std::vector<CandidateEventInfo> events_;
+  std::vector<CompetingEventInfo> competing_;
+  std::vector<std::vector<CompetingIndex>> interval_competing_;
+  InterestRows event_interest_;
+  InterestRows competing_interest_;
+  std::shared_ptr<const SigmaProvider> sigma_;
+};
+
+/// Step-by-step construction and validation of a SesInstance.
+class InstanceBuilder {
+ public:
+  InstanceBuilder& SetNumUsers(uint32_t n);
+  InstanceBuilder& SetNumIntervals(uint32_t n);
+  InstanceBuilder& SetTheta(double theta);
+  InstanceBuilder& SetSigma(std::shared_ptr<const SigmaProvider> sigma);
+
+  /// Adds a candidate event. \p interests: sorted by user, mu in (0, 1].
+  /// Returns its EventIndex.
+  EventIndex AddEvent(LocationId location, double required_resources,
+                      std::vector<std::pair<UserIndex, float>> interests);
+
+  /// Adds a competing event pre-scheduled at \p interval.
+  CompetingIndex AddCompetingEvent(
+      IntervalIndex interval,
+      std::vector<std::pair<UserIndex, float>> interests);
+
+  /// Validates and produces the instance. The builder is left in a
+  /// moved-from state on success.
+  util::Result<SesInstance> Build();
+
+ private:
+  struct PendingRow {
+    std::vector<std::pair<UserIndex, float>> entries;
+  };
+
+  util::Status ValidateRow(const std::vector<std::pair<UserIndex, float>>& row,
+                           const char* what, size_t index) const;
+
+  uint32_t num_users_ = 0;
+  uint32_t num_intervals_ = 0;
+  double theta_ = 0.0;
+  std::shared_ptr<const SigmaProvider> sigma_;
+  std::vector<CandidateEventInfo> events_;
+  std::vector<PendingRow> event_rows_;
+  std::vector<CompetingEventInfo> competing_;
+  std::vector<PendingRow> competing_rows_;
+};
+
+}  // namespace ses::core
+
+#endif  // SES_CORE_INSTANCE_H_

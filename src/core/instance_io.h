@@ -1,0 +1,53 @@
+#ifndef SES_CORE_INSTANCE_IO_H_
+#define SES_CORE_INSTANCE_IO_H_
+
+/// \file
+/// SES instance persistence: save/load a SesInstance as a directory of
+/// CSV files, so instances can be generated once, shipped, inspected with
+/// standard tooling, and re-solved elsewhere.
+///
+/// Layout (all files written by SaveInstance):
+///   meta.csv                key,value rows: users, intervals, theta,
+///                           sigma kind + parameter
+///   events.csv              event_id,location,required_resources
+///   event_interests.csv     event_id,user_id,mu  (sparse triplets)
+///   competing.csv           competing_id,interval
+///   competing_interests.csv competing_id,user_id,mu
+///
+/// Sigma providers serialize by kind: "const" (value) and "hash" (seed).
+/// Dense matrices are not persisted — instances built from explicit
+/// matrices fail to save with Unimplemented.
+
+#include <string>
+
+#include "core/instance.h"
+#include "util/status.h"
+
+namespace ses::core {
+
+/// Serializable description of a sigma provider.
+struct SigmaSpec {
+  enum class Kind { kConst, kHash };
+  Kind kind = Kind::kHash;
+  /// kConst: the constant probability.
+  double const_value = 0.5;
+  /// kHash: the hash seed.
+  uint64_t seed = 0;
+
+  /// Instantiates the provider this spec describes.
+  std::shared_ptr<const SigmaProvider> Instantiate() const;
+};
+
+/// Writes \p instance under directory \p dir (which must exist).
+/// \p sigma_spec must describe the provider the instance was built with —
+/// the provider object itself cannot be introspected.
+util::Status SaveInstance(const SesInstance& instance,
+                          const SigmaSpec& sigma_spec,
+                          const std::string& dir);
+
+/// Reads an instance previously written by SaveInstance.
+util::Result<SesInstance> LoadInstance(const std::string& dir);
+
+}  // namespace ses::core
+
+#endif  // SES_CORE_INSTANCE_IO_H_

@@ -1,0 +1,91 @@
+#include "core/lazy_greedy.h"
+
+#include <queue>
+
+#include "core/attendance.h"
+#include "core/objective.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+namespace {
+
+struct HeapEntry {
+  double score;
+  EventIndex event;
+  IntervalIndex interval;
+  /// Version of the interval when the score was computed.
+  uint32_t version;
+};
+
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    return a.score < b.score;
+  }
+};
+
+}  // namespace
+
+util::Result<SolverResult> LazyGreedySolver::Solve(
+    const SesInstance& instance, const SolverOptions& options) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  util::WallTimer timer;
+
+  AttendanceModel model(instance);
+  for (const Assignment& a : options.warm_start) {
+    SES_CHECK(model.CanAssign(a.event, a.interval))
+        << "warm-start assignment infeasible";
+    model.Apply(a.event, a.interval);
+  }
+  SolverStats stats;
+
+  std::vector<uint32_t> interval_version(instance.num_intervals(), 0);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  {
+    std::vector<HeapEntry> init;
+    init.reserve(static_cast<size_t>(instance.num_events()) *
+                 instance.num_intervals());
+    for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      for (EventIndex e = 0; e < instance.num_events(); ++e) {
+        if (model.schedule().IsAssigned(e)) continue;  // warm-started
+        init.push_back({model.MarginalGain(e, t), e, t, 0});
+      }
+    }
+    heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess>(
+        HeapLess{}, std::move(init));
+  }
+
+  const size_t k = static_cast<size_t>(options.k);
+  while (model.schedule().size() < k && !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    ++stats.pops;
+
+    if (!model.CanAssign(top.event, top.interval)) continue;  // drop
+
+    if (top.version != interval_version[top.interval]) {
+      // Stale: the interval changed since this score was computed. The
+      // stale score upper-bounds the fresh one, so recompute and re-queue.
+      top.score = model.MarginalGain(top.event, top.interval);
+      top.version = interval_version[top.interval];
+      ++stats.updates;
+      heap.push(top);
+      continue;
+    }
+
+    model.Apply(top.event, top.interval);
+    ++interval_version[top.interval];
+  }
+
+  stats.gain_evaluations = model.gain_evaluations();
+
+  SolverResult result;
+  result.assignments = model.schedule().Assignments();
+  result.utility = TotalUtility(instance, model.schedule());
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  result.solver = std::string(name());
+  return result;
+}
+
+}  // namespace ses::core

@@ -1,0 +1,71 @@
+#include "core/random_schedule.h"
+
+#include "core/objective.h"
+#include "core/schedule.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+util::Result<SolverResult> RandomSolver::Solve(const SesInstance& instance,
+                                               const SolverOptions& options) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  util::WallTimer timer;
+  util::Rng rng(options.seed);
+
+  Schedule schedule(instance);
+  for (const Assignment& a : options.warm_start) {
+    SES_CHECK(schedule.Assign(a.event, a.interval).ok())
+        << "warm-start assignment infeasible";
+  }
+  SolverStats stats;
+  const size_t k = static_cast<size_t>(options.k);
+
+  // A random permutation of all (event, interval) pairs, materialized
+  // lazily: pick random pairs with rejection first (cheap when the pair
+  // space is much larger than k), then fall back to an exhaustive shuffled
+  // sweep to guarantee termination.
+  const uint64_t pair_space = static_cast<uint64_t>(instance.num_events()) *
+                              instance.num_intervals();
+  uint64_t rejections = 0;
+  const uint64_t rejection_budget = 16 * (pair_space + 1);
+  while (schedule.size() < k && rejections < rejection_budget) {
+    const uint64_t pick = rng.NextBounded(pair_space);
+    const EventIndex e = static_cast<EventIndex>(pick % instance.num_events());
+    const IntervalIndex t =
+        static_cast<IntervalIndex>(pick / instance.num_events());
+    ++stats.moves_tried;
+    if (schedule.CanAssign(e, t)) {
+      SES_CHECK(schedule.Assign(e, t).ok());
+    } else {
+      ++rejections;
+    }
+  }
+  if (schedule.size() < k) {
+    // Exhaustive fallback: visit every pair in random order.
+    std::vector<uint64_t> pairs(pair_space);
+    for (uint64_t i = 0; i < pair_space; ++i) pairs[i] = i;
+    util::Shuffle(pairs, rng);
+    for (uint64_t pick : pairs) {
+      if (schedule.size() >= k) break;
+      const EventIndex e =
+          static_cast<EventIndex>(pick % instance.num_events());
+      const IntervalIndex t =
+          static_cast<IntervalIndex>(pick / instance.num_events());
+      ++stats.moves_tried;
+      if (schedule.CanAssign(e, t)) {
+        SES_CHECK(schedule.Assign(e, t).ok());
+      }
+    }
+  }
+
+  SolverResult result;
+  result.assignments = schedule.Assignments();
+  result.utility = TotalUtility(instance, schedule);
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  result.solver = std::string(name());
+  return result;
+}
+
+}  // namespace ses::core

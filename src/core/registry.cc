@@ -1,0 +1,34 @@
+#include "core/registry.h"
+
+#include "core/annealing.h"
+#include "core/best_fit.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/lazy_greedy.h"
+#include "core/local_search.h"
+#include "core/random_schedule.h"
+#include "core/top_k.h"
+
+namespace ses::core {
+
+util::Result<std::unique_ptr<Solver>> MakeSolver(std::string_view name) {
+  if (name == "grd") return std::unique_ptr<Solver>(new GreedySolver());
+  if (name == "lazy") return std::unique_ptr<Solver>(new LazyGreedySolver());
+  if (name == "bestfit") {
+    return std::unique_ptr<Solver>(new BestFitSolver());
+  }
+  if (name == "top") return std::unique_ptr<Solver>(new TopKSolver());
+  if (name == "rand") return std::unique_ptr<Solver>(new RandomSolver());
+  if (name == "exact") return std::unique_ptr<Solver>(new ExactSolver());
+  if (name == "ls") return std::unique_ptr<Solver>(new LocalSearchSolver());
+  if (name == "anneal") {
+    return std::unique_ptr<Solver>(new SimulatedAnnealingSolver());
+  }
+  return util::Status::NotFound("unknown solver: " + std::string(name));
+}
+
+std::vector<std::string> ListSolvers() {
+  return {"grd", "lazy", "bestfit", "top", "rand", "exact", "ls", "anneal"};
+}
+
+}  // namespace ses::core

@@ -1,0 +1,66 @@
+#include "core/sigma.h"
+
+namespace ses::core {
+
+namespace {
+
+/// SplitMix64-style finalizer over the packed (seed, u, t) key.
+inline uint64_t MixKey(uint64_t seed, UserIndex u, IntervalIndex t) {
+  uint64_t z = seed ^ (static_cast<uint64_t>(u) * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(t) + 0xbf58476d1ce4e5b9ULL) *
+                   0x94d049bb133111ebULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void SigmaProvider::FillInterval(IntervalIndex t,
+                                 std::span<float> out) const {
+  for (size_t u = 0; u < out.size(); ++u) {
+    out[u] = static_cast<float>(At(static_cast<UserIndex>(u), t));
+  }
+}
+
+void ConstSigma::FillInterval(IntervalIndex, std::span<float> out) const {
+  std::fill(out.begin(), out.end(), static_cast<float>(value_));
+}
+
+DenseSigma::DenseSigma(std::vector<std::vector<float>> rows)
+    : rows_(std::move(rows)) {
+  for (size_t t = 1; t < rows_.size(); ++t) {
+    SES_CHECK_EQ(rows_[t].size(), rows_[0].size());
+  }
+  for (const auto& row : rows_) {
+    for (float v : row) {
+      SES_CHECK_GE(v, 0.0f);
+      SES_CHECK_LE(v, 1.0f);
+    }
+  }
+}
+
+double DenseSigma::At(UserIndex u, IntervalIndex t) const {
+  SES_CHECK_LT(t, rows_.size());
+  SES_CHECK_LT(u, rows_[t].size());
+  return rows_[t][u];
+}
+
+void DenseSigma::FillInterval(IntervalIndex t, std::span<float> out) const {
+  SES_CHECK_LT(t, rows_.size());
+  SES_CHECK_LE(out.size(), rows_[t].size());
+  std::copy(rows_[t].begin(), rows_[t].begin() + out.size(), out.begin());
+}
+
+double HashUniformSigma::At(UserIndex u, IntervalIndex t) const {
+  return static_cast<double>(MixKey(seed_, u, t) >> 11) * 0x1.0p-53;
+}
+
+void HashUniformSigma::FillInterval(IntervalIndex t,
+                                    std::span<float> out) const {
+  for (size_t u = 0; u < out.size(); ++u) {
+    out[u] = static_cast<float>(At(static_cast<UserIndex>(u), t));
+  }
+}
+
+}  // namespace ses::core

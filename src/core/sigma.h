@@ -1,0 +1,83 @@
+#ifndef SES_CORE_SIGMA_H_
+#define SES_CORE_SIGMA_H_
+
+/// \file
+/// Social-activity probability providers: sigma(u, t) in [0, 1], the
+/// probability that user u participates in *some* social activity during
+/// interval t (paper Section II, "Users").
+///
+/// Providers are pluggable so experiments can use the paper's Uniform
+/// sigma (HashUniformSigma — storage-free, deterministic from a seed)
+/// while tests use explicit dense matrices and EBSN-driven models adapt
+/// check-in histories.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/logging.h"
+
+namespace ses::core {
+
+/// Interface: per-(user, interval) activity probability.
+class SigmaProvider {
+ public:
+  virtual ~SigmaProvider() = default;
+
+  /// sigma(u, t) in [0, 1].
+  virtual double At(UserIndex u, IntervalIndex t) const = 0;
+
+  /// Fills out[u] = sigma(u, t) for u in [0, out.size()). The default
+  /// implementation loops over At; providers may override with a faster
+  /// bulk fill.
+  virtual void FillInterval(IntervalIndex t, std::span<float> out) const;
+};
+
+/// The same probability for every user and interval.
+class ConstSigma final : public SigmaProvider {
+ public:
+  explicit ConstSigma(double value) : value_(value) {
+    SES_CHECK_GE(value, 0.0);
+    SES_CHECK_LE(value, 1.0);
+  }
+
+  double At(UserIndex, IntervalIndex) const override { return value_; }
+  void FillInterval(IntervalIndex t, std::span<float> out) const override;
+
+ private:
+  double value_;
+};
+
+/// Explicit matrix sigma, rows indexed by interval. Intended for tests and
+/// small instances.
+class DenseSigma final : public SigmaProvider {
+ public:
+  /// \param rows rows[t][u] = sigma(u, t); all rows must share a size.
+  explicit DenseSigma(std::vector<std::vector<float>> rows);
+
+  double At(UserIndex u, IntervalIndex t) const override;
+  void FillInterval(IntervalIndex t, std::span<float> out) const override;
+
+ private:
+  std::vector<std::vector<float>> rows_;
+};
+
+/// Storage-free Uniform[0,1) sigma: the value is a deterministic hash of
+/// (seed, u, t). This realizes the paper's experimental setting ("the
+/// social activity probability sigma is defined using a Uniform
+/// distribution") without materializing a |U| x |T| matrix.
+class HashUniformSigma final : public SigmaProvider {
+ public:
+  explicit HashUniformSigma(uint64_t seed) : seed_(seed) {}
+
+  double At(UserIndex u, IntervalIndex t) const override;
+  void FillInterval(IntervalIndex t, std::span<float> out) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace ses::core
+
+#endif  // SES_CORE_SIGMA_H_

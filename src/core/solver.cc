@@ -1,0 +1,32 @@
+#include "core/solver.h"
+
+#include "core/validate.h"
+#include "util/string_util.h"
+
+namespace ses::core {
+
+util::Status ValidateSolverOptions(const SesInstance& instance,
+                                   const SolverOptions& options) {
+  if (options.k <= 0) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("k must be positive, got %lld",
+                        static_cast<long long>(options.k)));
+  }
+  if (options.k > instance.num_events()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "k=%lld exceeds the number of candidate events (%u)",
+        static_cast<long long>(options.k), instance.num_events()));
+  }
+  if (!options.warm_start.empty()) {
+    if (options.warm_start.size() > static_cast<size_t>(options.k)) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "warm start holds %zu assignments but k is only %lld",
+          options.warm_start.size(), static_cast<long long>(options.k)));
+    }
+    SES_RETURN_IF_ERROR(
+        ValidateAssignments(instance, options.warm_start));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace ses::core

@@ -1,0 +1,106 @@
+#ifndef SES_CORE_SOLVER_H_
+#define SES_CORE_SOLVER_H_
+
+/// \file
+/// Common interface of all SES solvers (the paper's GRD, TOP, RAND plus
+/// this library's extensions).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace ses::core {
+
+/// Which solver seeds an improvement heuristic (local search, annealing).
+enum class BaseSolver {
+  kRandom,
+  kGreedy,
+};
+
+/// Tuning knobs shared by every solver. Unused fields are ignored.
+struct SolverOptions {
+  /// Number of assignments to schedule (the paper's k).
+  int64_t k = 100;
+  /// PRNG seed for randomized solvers.
+  uint64_t seed = 1;
+
+  /// Pre-committed assignments (incremental re-planning): the solver
+  /// starts from this partial schedule and extends it to k assignments.
+  /// Must be feasible and hold at most k assignments. Constructive
+  /// solvers (grd/lazy/bestfit/top/rand) never move committed
+  /// assignments; the improvement heuristics (ls/anneal) receive them
+  /// only as the seed of their base solver and may relocate them. Use
+  /// case: the organizer already announced some events and the budget k
+  /// grew, or a new planning round starts from last week's program.
+  std::vector<Assignment> warm_start;
+
+  /// Local search / annealing: maximum number of candidate moves.
+  int64_t max_iterations = 20000;
+  /// Local search / annealing: schedule that seeds the improvement.
+  BaseSolver base_solver = BaseSolver::kRandom;
+
+  /// Simulated annealing: starting temperature and geometric cooling.
+  double initial_temperature = 1.0;
+  double cooling = 0.995;
+
+  /// Exact solver: node budget before giving up with ResourceExhausted.
+  uint64_t max_nodes = 50000000;
+};
+
+/// Work counters reported by solvers for the paper's complexity analysis.
+struct SolverStats {
+  /// Eq. 4 evaluations (initial scores + updates + probes).
+  uint64_t gain_evaluations = 0;
+  /// popTopAssgn operations (GRD) / heap pops (lazy greedy).
+  uint64_t pops = 0;
+  /// Score-update recomputations after a selection.
+  uint64_t updates = 0;
+  /// Branch-and-bound nodes (exact solver).
+  uint64_t nodes = 0;
+  /// Moves tried / accepted (local search, annealing).
+  uint64_t moves_tried = 0;
+  uint64_t moves_accepted = 0;
+};
+
+/// Outcome of one solver run.
+struct SolverResult {
+  /// The chosen assignments, sorted by (interval, event). May hold fewer
+  /// than k entries when no more valid assignments existed.
+  std::vector<Assignment> assignments;
+  /// Total utility Omega of the schedule, recomputed with the reference
+  /// objective (not the solver's internal tracker).
+  double utility = 0.0;
+  /// Wall-clock seconds spent inside Solve().
+  double wall_seconds = 0.0;
+  /// Work counters.
+  SolverStats stats;
+  /// Name of the producing solver ("grd", "top", ...).
+  std::string solver;
+};
+
+/// Abstract solver.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  /// Stable lowercase identifier ("grd", "top", "rand", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Computes a feasible schedule with (up to) options.k assignments.
+  virtual util::Result<SolverResult> Solve(const SesInstance& instance,
+                                           const SolverOptions& options) = 0;
+};
+
+/// Shared helper: validates options against the instance (k positive and
+/// not above |E|).
+util::Status ValidateSolverOptions(const SesInstance& instance,
+                                   const SolverOptions& options);
+
+}  // namespace ses::core
+
+#endif  // SES_CORE_SOLVER_H_

@@ -1,0 +1,60 @@
+#include "core/top_k.h"
+
+#include <algorithm>
+
+#include "core/attendance.h"
+#include "core/objective.h"
+#include "util/timer.h"
+
+namespace ses::core {
+
+util::Result<SolverResult> TopKSolver::Solve(const SesInstance& instance,
+                                             const SolverOptions& options) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  util::WallTimer timer;
+
+  AttendanceModel model(instance);
+  for (const Assignment& a : options.warm_start) {
+    SES_CHECK(model.CanAssign(a.event, a.interval))
+        << "warm-start assignment infeasible";
+    model.Apply(a.event, a.interval);
+  }
+  SolverStats stats;
+
+  struct Entry {
+    EventIndex event;
+    IntervalIndex interval;
+    double score;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(instance.num_events()) *
+                  instance.num_intervals());
+  for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+    for (EventIndex e = 0; e < instance.num_events(); ++e) {
+      if (model.schedule().IsAssigned(e)) continue;  // warm-started
+      entries.push_back({e, t, model.MarginalGain(e, t)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.score > b.score; });
+
+  const size_t k = static_cast<size_t>(options.k);
+  for (const Entry& entry : entries) {
+    if (model.schedule().size() >= k) break;
+    ++stats.pops;
+    if (!model.CanAssign(entry.event, entry.interval)) continue;
+    model.Apply(entry.event, entry.interval);
+  }
+
+  stats.gain_evaluations = model.gain_evaluations();
+
+  SolverResult result;
+  result.assignments = model.schedule().Assignments();
+  result.utility = TotalUtility(instance, model.schedule());
+  result.wall_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  result.solver = std::string(name());
+  return result;
+}
+
+}  // namespace ses::core

@@ -1,0 +1,53 @@
+#include "core/validate.h"
+
+#include <set>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace ses::core {
+
+util::Status ValidateAssignments(const SesInstance& instance,
+                                 std::span<const Assignment> assignments,
+                                 int64_t expected_k) {
+  if (expected_k >= 0 &&
+      assignments.size() != static_cast<size_t>(expected_k)) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "expected %lld assignments, got %zu",
+        static_cast<long long>(expected_k), assignments.size()));
+  }
+
+  std::set<EventIndex> seen_events;
+  std::vector<double> interval_resources(instance.num_intervals(), 0.0);
+  std::set<std::pair<IntervalIndex, LocationId>> taken_locations;
+
+  for (const Assignment& a : assignments) {
+    if (a.event >= instance.num_events()) {
+      return util::Status::OutOfRange(
+          util::StrFormat("event %u out of range", a.event));
+    }
+    if (a.interval >= instance.num_intervals()) {
+      return util::Status::OutOfRange(
+          util::StrFormat("interval %u out of range", a.interval));
+    }
+    if (!seen_events.insert(a.event).second) {
+      return util::Status::FailedPrecondition(
+          util::StrFormat("event %u assigned more than once", a.event));
+    }
+    const CandidateEventInfo& info = instance.event(a.event);
+    if (!taken_locations.insert({a.interval, info.location}).second) {
+      return util::Status::Infeasible(util::StrFormat(
+          "location %u double-booked at interval %u", info.location,
+          a.interval));
+    }
+    interval_resources[a.interval] += info.required_resources;
+    if (interval_resources[a.interval] > instance.theta() + 1e-9) {
+      return util::Status::Infeasible(util::StrFormat(
+          "interval %u exceeds theta (%.3f > %.3f)", a.interval,
+          interval_resources[a.interval], instance.theta()));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace ses::core

@@ -1,0 +1,27 @@
+#ifndef SES_CORE_VALIDATE_H_
+#define SES_CORE_VALIDATE_H_
+
+/// \file
+/// Standalone schedule validation, independent of the Schedule class's
+/// own bookkeeping — used to double-check every solver result in tests
+/// and benches.
+
+#include <span>
+
+#include "core/instance.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace ses::core {
+
+/// Checks that \p assignments form a feasible schedule of \p instance:
+/// in-range indices, no event assigned twice, per-interval location
+/// uniqueness, and per-interval resource totals within theta. When
+/// \p expected_k >= 0 the assignment count must equal it.
+util::Status ValidateAssignments(const SesInstance& instance,
+                                 std::span<const Assignment> assignments,
+                                 int64_t expected_k = -1);
+
+}  // namespace ses::core
+
+#endif  // SES_CORE_VALIDATE_H_

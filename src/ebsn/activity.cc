@@ -1,0 +1,52 @@
+#include "ebsn/activity.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ses::ebsn {
+
+ActivityModel::ActivityModel(const EbsnDataset& dataset, double smoothing) {
+  SES_CHECK_GE(smoothing, 0.0);
+  const size_t num_users = dataset.users().size();
+  const uint32_t num_slots = std::max<uint32_t>(1, dataset.num_slots());
+
+  std::vector<double> user_counts(num_users, smoothing);
+  std::vector<double> slot_counts(num_slots, smoothing);
+  for (const CheckIn& checkin : dataset.checkins()) {
+    if (checkin.user < num_users) user_counts[checkin.user] += 1.0;
+    if (checkin.slot < num_slots) slot_counts[checkin.slot] += 1.0;
+  }
+
+  double max_user = 0.0;
+  for (double c : user_counts) max_user = std::max(max_user, c);
+  if (max_user <= 0.0) max_user = 1.0;
+  user_rate_.resize(num_users);
+  for (size_t u = 0; u < num_users; ++u) {
+    user_rate_[u] = user_counts[u] / max_user;
+  }
+
+  double max_slot = 0.0;
+  for (double c : slot_counts) max_slot = std::max(max_slot, c);
+  if (max_slot <= 0.0) max_slot = 1.0;
+  slot_weight_.resize(num_slots);
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    slot_weight_[s] = slot_counts[s] / max_slot;
+  }
+}
+
+double ActivityModel::Probability(EbsnUserId user, uint32_t slot) const {
+  return UserRate(user) * SlotWeight(slot);
+}
+
+double ActivityModel::UserRate(EbsnUserId user) const {
+  SES_CHECK_LT(user, user_rate_.size());
+  return user_rate_[user];
+}
+
+double ActivityModel::SlotWeight(uint32_t slot) const {
+  SES_CHECK_LT(slot, slot_weight_.size());
+  return slot_weight_[slot];
+}
+
+}  // namespace ses::ebsn

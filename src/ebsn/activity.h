@@ -1,0 +1,50 @@
+#ifndef SES_EBSN_ACTIVITY_H_
+#define SES_EBSN_ACTIVITY_H_
+
+/// \file
+/// Social-activity model: estimates sigma(u, slot) — the probability that
+/// user u engages in a social activity during a recurring time slot — from
+/// the user's check-in history, as the paper suggests ("this probability
+/// can be estimated by examining the user's past behavior, e.g. number of
+/// check-ins").
+///
+/// The estimator is a smoothed product model:
+///   sigma(u, slot) = user_rate(u) * slot_weight(slot)
+/// where user_rate is the user's overall propensity (check-ins relative to
+/// the most active user, Laplace-smoothed) and slot_weight is the slot's
+/// share of global activity normalized to peak 1.
+
+#include <vector>
+
+#include "ebsn/dataset.h"
+
+namespace ses::ebsn {
+
+/// Check-in-derived activity probabilities.
+class ActivityModel {
+ public:
+  /// Fits the model on \p dataset's check-in table.
+  /// \param smoothing Laplace pseudo-count applied to both user and slot
+  ///        tallies so zero-history users retain a small probability.
+  explicit ActivityModel(const EbsnDataset& dataset, double smoothing = 1.0);
+
+  /// Probability in [0, 1] that \p user is socially active during \p slot.
+  double Probability(EbsnUserId user, uint32_t slot) const;
+
+  /// The user's overall activity propensity in (0, 1].
+  double UserRate(EbsnUserId user) const;
+
+  /// The slot's activity weight in (0, 1].
+  double SlotWeight(uint32_t slot) const;
+
+  /// Number of recurring slots the model was fit over.
+  uint32_t num_slots() const { return static_cast<uint32_t>(slot_weight_.size()); }
+
+ private:
+  std::vector<double> user_rate_;
+  std::vector<double> slot_weight_;
+};
+
+}  // namespace ses::ebsn
+
+#endif  // SES_EBSN_ACTIVITY_H_

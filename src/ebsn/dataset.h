@@ -1,0 +1,102 @@
+#ifndef SES_EBSN_DATASET_H_
+#define SES_EBSN_DATASET_H_
+
+/// \file
+/// In-memory model of an event-based social network (EBSN), mirroring the
+/// entities of the Meetup dataset used by the paper: groups carrying topic
+/// tags, users who join groups (and inherit interest tags), events
+/// organized by groups (inheriting the group's tags), and per-user
+/// check-in history used to estimate social-activity probabilities.
+///
+/// The container is deliberately simple: plain structs with dense-index
+/// cross references, plus CSV persistence so datasets can be inspected and
+/// reproduced outside the process.
+
+#include <string>
+#include <vector>
+
+#include "ebsn/tag_catalog.h"
+#include "ebsn/types.h"
+#include "util/status.h"
+
+namespace ses::ebsn {
+
+/// A Meetup-style interest group.
+struct Group {
+  std::string name;
+  /// Sorted, de-duplicated topic tags describing the group.
+  std::vector<TagId> tags;
+  /// Members (user ids); sorted.
+  std::vector<EbsnUserId> members;
+};
+
+/// A platform user.
+struct UserProfile {
+  /// Groups the user joined; sorted.
+  std::vector<GroupId> groups;
+  /// Interest tags, the union of joined groups' tags; sorted and unique.
+  std::vector<TagId> tags;
+};
+
+/// A (historical or candidate) social event.
+struct EventRecord {
+  /// The group that organizes the event.
+  GroupId organizer = kInvalidEbsnId;
+  /// Topic tags; for Meetup-style data these are the organizer group's
+  /// tags (the association rule used in the paper, Section IV-A).
+  std::vector<TagId> tags;
+};
+
+/// One historical check-in: \p user was socially active during time slot
+/// \p slot (slot is an abstract recurring period, e.g. hour-of-week).
+struct CheckIn {
+  EbsnUserId user = kInvalidEbsnId;
+  uint32_t slot = 0;
+};
+
+/// A full EBSN snapshot.
+class EbsnDataset {
+ public:
+  TagCatalog& tags() { return tags_; }
+  const TagCatalog& tags() const { return tags_; }
+
+  std::vector<Group>& groups() { return groups_; }
+  const std::vector<Group>& groups() const { return groups_; }
+
+  std::vector<UserProfile>& users() { return users_; }
+  const std::vector<UserProfile>& users() const { return users_; }
+
+  std::vector<EventRecord>& events() { return events_; }
+  const std::vector<EventRecord>& events() const { return events_; }
+
+  std::vector<CheckIn>& checkins() { return checkins_; }
+  const std::vector<CheckIn>& checkins() const { return checkins_; }
+
+  /// Number of distinct activity slots referenced by checkins().
+  uint32_t num_slots() const { return num_slots_; }
+  void set_num_slots(uint32_t n) { num_slots_ = n; }
+
+  /// Structural validation: sorted tag lists, in-range cross references,
+  /// event organizers exist, member lists consistent with user group
+  /// lists. Returns the first violation found.
+  util::Status Validate() const;
+
+  /// Persists the dataset as CSV files under directory \p dir
+  /// (tags.csv, groups.csv, users.csv, events.csv, checkins.csv).
+  util::Status Save(const std::string& dir) const;
+
+  /// Loads a dataset previously written by Save().
+  static util::Result<EbsnDataset> Load(const std::string& dir);
+
+ private:
+  TagCatalog tags_;
+  std::vector<Group> groups_;
+  std::vector<UserProfile> users_;
+  std::vector<EventRecord> events_;
+  std::vector<CheckIn> checkins_;
+  uint32_t num_slots_ = 0;
+};
+
+}  // namespace ses::ebsn
+
+#endif  // SES_EBSN_DATASET_H_

@@ -1,0 +1,125 @@
+#include "ebsn/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace ses::ebsn {
+
+namespace {
+
+/// Draws \p count distinct values from \p sampler (1-based Zipf) into a
+/// sorted unique vector of 0-based ids.
+std::vector<uint32_t> DrawDistinctZipf(const util::ZipfSampler& sampler,
+                                       uint32_t count, util::Rng& rng) {
+  std::set<uint32_t> chosen;
+  // The rejection loop terminates quickly because count is far below the
+  // support size in all configurations we generate.
+  int attempts = 0;
+  const int max_attempts = static_cast<int>(count) * 64 + 64;
+  while (chosen.size() < count && attempts < max_attempts) {
+    chosen.insert(static_cast<uint32_t>(sampler.Sample(rng) - 1));
+    ++attempts;
+  }
+  // Fall back to sequential fill if the distribution is too concentrated.
+  uint32_t next = 0;
+  while (chosen.size() < count && next < sampler.n()) {
+    chosen.insert(next++);
+  }
+  return std::vector<uint32_t>(chosen.begin(), chosen.end());
+}
+
+}  // namespace
+
+EbsnDataset GenerateSyntheticMeetup(const SyntheticMeetupConfig& config) {
+  SES_CHECK_GT(config.num_users, 0u);
+  SES_CHECK_GT(config.num_groups, 0u);
+  SES_CHECK_GT(config.num_tags, 0u);
+  SES_CHECK_GE(config.group_tags_max, config.group_tags_min);
+  SES_CHECK_GE(config.group_tags_min, 1u);
+  SES_CHECK_LE(config.group_tags_max, config.num_tags);
+
+  util::Rng rng(config.seed);
+  EbsnDataset ds;
+
+  // --- Tag vocabulary -----------------------------------------------------
+  for (uint32_t t = 0; t < config.num_tags; ++t) {
+    ds.tags().Intern(util::StrFormat("tag-%04u", t));
+  }
+
+  // --- Groups ---------------------------------------------------------
+  util::ZipfSampler tag_popularity(config.num_tags, config.tag_zipf_exponent);
+  ds.groups().resize(config.num_groups);
+  for (uint32_t g = 0; g < config.num_groups; ++g) {
+    Group& group = ds.groups()[g];
+    group.name = util::StrFormat("group-%04u", g);
+    const uint32_t tag_count = static_cast<uint32_t>(
+        rng.UniformInt(config.group_tags_min, config.group_tags_max));
+    group.tags = DrawDistinctZipf(tag_popularity, tag_count, rng);
+  }
+
+  // --- Users & memberships ---------------------------------------------
+  util::ZipfSampler group_popularity(config.num_groups,
+                                     config.group_zipf_exponent);
+  ds.users().resize(config.num_users);
+  for (uint32_t u = 0; u < config.num_users; ++u) {
+    UserProfile& user = ds.users()[u];
+    uint32_t group_count =
+        1 + static_cast<uint32_t>(
+                util::PoissonSample(rng, config.user_groups_mean));
+    group_count = std::min(group_count, config.user_groups_max);
+    group_count = std::min(group_count, config.num_groups);
+    user.groups = DrawDistinctZipf(group_popularity, group_count, rng);
+
+    std::set<TagId> tag_union;
+    for (GroupId g : user.groups) {
+      ds.groups()[g].members.push_back(u);
+      const auto& group_tags = ds.groups()[g].tags;
+      tag_union.insert(group_tags.begin(), group_tags.end());
+    }
+    user.tags.assign(tag_union.begin(), tag_union.end());
+  }
+  // Membership lists were appended in increasing user order, so they are
+  // already sorted and unique; Validate() double-checks this.
+
+  // --- Events -----------------------------------------------------------
+  ds.events().resize(config.num_events);
+  for (uint32_t e = 0; e < config.num_events; ++e) {
+    EventRecord& event = ds.events()[e];
+    event.organizer =
+        static_cast<GroupId>(group_popularity.Sample(rng) - 1);
+    event.tags = ds.groups()[event.organizer].tags;
+  }
+
+  // --- Check-in history ---------------------------------------------------
+  ds.set_num_slots(config.num_slots);
+  if (config.num_slots > 0 && config.checkins_per_user_mean > 0) {
+    // Per-user activity rates are heavy-tailed: rate = mean * w where
+    // w ~ Exp(1) (via inverse CDF), so some users are far more active.
+    for (uint32_t u = 0; u < config.num_users; ++u) {
+      const double unit = std::max(1e-12, 1.0 - rng.NextDouble());
+      const double weight = -std::log(unit);
+      const int count = util::PoissonSample(
+          rng, config.checkins_per_user_mean * weight);
+      for (int c = 0; c < count; ++c) {
+        // Slot popularity is triangular: later slots (evenings/weekends
+        // in the analogy) attract more activity.
+        const double a = rng.NextDouble();
+        const double b = rng.NextDouble();
+        const uint32_t slot = static_cast<uint32_t>(
+            std::max(a, b) * config.num_slots);
+        ds.checkins().push_back(
+            {u, std::min(slot, config.num_slots - 1)});
+      }
+    }
+  }
+
+  SES_CHECK(ds.Validate().ok()) << "generator produced invalid dataset";
+  return ds;
+}
+
+}  // namespace ses::ebsn

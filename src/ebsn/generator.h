@@ -1,0 +1,69 @@
+#ifndef SES_EBSN_GENERATOR_H_
+#define SES_EBSN_GENERATOR_H_
+
+/// \file
+/// Synthetic Meetup-like EBSN generator.
+///
+/// The paper evaluates on the Meetup California dataset of Pham et al.
+/// (ICDE'15): 42,444 users and about 16k events, with user-event interest
+/// defined as Jaccard similarity between user tags and the organizer
+/// group's tags. That dump is not redistributable, so this generator
+/// synthesizes a dataset with the same *shape*:
+///
+///  - a tag vocabulary whose popularity follows a Zipf law,
+///  - groups carrying 3-10 tags drawn by popularity,
+///  - users joining a heavy-tailed number of groups, with group choice
+///    also Zipf-distributed (a few huge groups, many tiny ones),
+///  - user tags = union of joined groups' tags,
+///  - events organized by groups (popular groups organize more events),
+///    inheriting the organizer's tags,
+///  - per-user check-in histories over recurring time slots, used by the
+///    activity model.
+///
+/// All randomness flows from a single seed, so datasets are reproducible.
+
+#include <cstdint>
+
+#include "ebsn/dataset.h"
+
+namespace ses::ebsn {
+
+/// Knobs for the synthetic generator. Defaults approximate the Meetup
+/// California dataset scale used in the paper's evaluation.
+struct SyntheticMeetupConfig {
+  uint32_t num_users = 42444;
+  uint32_t num_events = 16000;
+  uint32_t num_groups = 1500;
+  uint32_t num_tags = 600;
+
+  /// Zipf exponent of tag popularity when composing group tag sets.
+  double tag_zipf_exponent = 1.0;
+  /// Zipf exponent of group popularity for membership and organizing.
+  double group_zipf_exponent = 1.05;
+
+  /// Group tag-set size range (inclusive).
+  uint32_t group_tags_min = 3;
+  uint32_t group_tags_max = 10;
+
+  /// Mean number of groups joined per user beyond the mandatory first
+  /// (Poisson distributed).
+  double user_groups_mean = 2.5;
+  /// Hard cap on groups per user.
+  uint32_t user_groups_max = 12;
+
+  /// Number of recurring activity slots (e.g. coarse hour-of-week bins).
+  uint32_t num_slots = 56;
+  /// Mean check-ins per user (heavy-tailed per-user rates).
+  double checkins_per_user_mean = 6.0;
+
+  /// PRNG seed; same seed => identical dataset.
+  uint64_t seed = 20180416;
+};
+
+/// Generates a dataset per \p config. The result always passes
+/// EbsnDataset::Validate().
+EbsnDataset GenerateSyntheticMeetup(const SyntheticMeetupConfig& config);
+
+}  // namespace ses::ebsn
+
+#endif  // SES_EBSN_GENERATOR_H_

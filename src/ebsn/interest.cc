@@ -1,0 +1,81 @@
+#include "ebsn/interest.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ses::ebsn {
+
+InterestModel::InterestModel(const EbsnDataset& dataset)
+    : dataset_(&dataset) {
+  tag_users_.resize(dataset.tags().size());
+  for (EbsnUserId u = 0; u < dataset.users().size(); ++u) {
+    for (TagId tag : dataset.users()[u].tags) {
+      tag_users_[tag].push_back(u);
+    }
+  }
+  // Users are visited in increasing id order, so the lists are sorted.
+  overlap_counts_.assign(dataset.users().size(), 0);
+  touched_.reserve(1024);
+}
+
+std::vector<UserInterest> InterestModel::EventInterests(
+    const std::vector<TagId>& event_tags, float min_interest) const {
+  touched_.clear();
+  for (TagId tag : event_tags) {
+    SES_CHECK_LT(tag, tag_users_.size());
+    for (EbsnUserId u : tag_users_[tag]) {
+      if (overlap_counts_[u] == 0) touched_.push_back(u);
+      ++overlap_counts_[u];
+    }
+  }
+  std::vector<UserInterest> out;
+  out.reserve(touched_.size());
+  const auto& users = dataset_->users();
+  const float event_size = static_cast<float>(event_tags.size());
+  for (EbsnUserId u : touched_) {
+    const float overlap = static_cast<float>(overlap_counts_[u]);
+    overlap_counts_[u] = 0;  // reset scratch as we go
+    const float union_size =
+        static_cast<float>(users[u].tags.size()) + event_size - overlap;
+    const float jaccard = union_size > 0 ? overlap / union_size : 0.0f;
+    if (jaccard >= min_interest && jaccard > 0.0f) {
+      out.push_back({u, jaccard});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UserInterest& a, const UserInterest& b) {
+              return a.user < b.user;
+            });
+  return out;
+}
+
+float InterestModel::UserEventJaccard(
+    EbsnUserId user, const std::vector<TagId>& event_tags) const {
+  SES_CHECK_LT(user, dataset_->users().size());
+  const auto& user_tags = dataset_->users()[user].tags;
+  size_t overlap = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < user_tags.size() && j < event_tags.size()) {
+    if (user_tags[i] == event_tags[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (user_tags[i] < event_tags[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t union_size = user_tags.size() + event_tags.size() - overlap;
+  if (union_size == 0) return 0.0f;
+  return static_cast<float>(overlap) / static_cast<float>(union_size);
+}
+
+const std::vector<EbsnUserId>& InterestModel::UsersWithTag(TagId tag) const {
+  SES_CHECK_LT(tag, tag_users_.size());
+  return tag_users_[tag];
+}
+
+}  // namespace ses::ebsn

@@ -1,0 +1,31 @@
+#ifndef SES_EBSN_TYPES_H_
+#define SES_EBSN_TYPES_H_
+
+/// \file
+/// Identifier types for the event-based-social-network (EBSN) substrate.
+///
+/// All ids are dense indices into the owning EbsnDataset's vectors, which
+/// keeps the data model cache-friendly and trivially serializable.
+
+#include <cstdint>
+
+namespace ses::ebsn {
+
+/// Index of a tag in the TagCatalog.
+using TagId = uint32_t;
+
+/// Index of a group in EbsnDataset::groups().
+using GroupId = uint32_t;
+
+/// Index of a user in EbsnDataset::users().
+using EbsnUserId = uint32_t;
+
+/// Index of an event in EbsnDataset::events().
+using EbsnEventId = uint32_t;
+
+/// Sentinel for "no id".
+inline constexpr uint32_t kInvalidEbsnId = 0xffffffffu;
+
+}  // namespace ses::ebsn
+
+#endif  // SES_EBSN_TYPES_H_

@@ -1,0 +1,32 @@
+#ifndef SES_EXP_CHECKIN_SIGMA_H_
+#define SES_EXP_CHECKIN_SIGMA_H_
+
+/// \file
+/// Adapter: exposes an ebsn::ActivityModel (fit on check-in history) as a
+/// core::SigmaProvider, mapping each SES interval to a recurring activity
+/// slot (interval index modulo the slot count). This realizes the paper's
+/// remark that sigma "can be estimated by examining the user's past
+/// behavior (e.g. number of check-ins)".
+
+#include "core/sigma.h"
+#include "ebsn/activity.h"
+
+namespace ses::exp {
+
+/// SigmaProvider backed by a check-in-derived activity model.
+class CheckinSigma final : public core::SigmaProvider {
+ public:
+  /// \p model must outlive this provider.
+  explicit CheckinSigma(const ebsn::ActivityModel& model) : model_(&model) {}
+
+  double At(core::UserIndex u, core::IntervalIndex t) const override {
+    return model_->Probability(u, t % model_->num_slots());
+  }
+
+ private:
+  const ebsn::ActivityModel* model_;
+};
+
+}  // namespace ses::exp
+
+#endif  // SES_EXP_CHECKIN_SIGMA_H_

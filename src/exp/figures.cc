@@ -1,0 +1,66 @@
+#include "exp/figures.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace ses::exp {
+
+std::string RenderFigure(const std::string& title, const std::string& x_label,
+                         const std::vector<std::string>& solver_order,
+                         const std::vector<RunRecord>& records,
+                         Metric metric) {
+  // x -> solver -> value
+  std::map<int64_t, std::map<std::string, double>> grid;
+  for (const RunRecord& record : records) {
+    const double value =
+        metric == Metric::kUtility ? record.utility : record.seconds;
+    grid[record.x][record.solver] = value;
+  }
+
+  std::string out;
+  out += "=== " + title + " ===\n";
+  out += util::StrFormat("%10s", x_label.c_str());
+  for (const std::string& solver : solver_order) {
+    out += util::StrFormat(" %12s", solver.c_str());
+  }
+  out += "\n";
+  for (const auto& [x, row] : grid) {
+    out += util::StrFormat("%10lld", static_cast<long long>(x));
+    for (const std::string& solver : solver_order) {
+      auto it = row.find(solver);
+      if (it == row.end()) {
+        out += util::StrFormat(" %12s", "-");
+      } else if (metric == Metric::kUtility) {
+        out += util::StrFormat(" %12.2f", it->second);
+      } else {
+        out += util::StrFormat(" %12.4f", it->second);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+util::Status WriteRecordsCsv(const std::string& path,
+                             const std::vector<RunRecord>& records) {
+  std::vector<util::CsvRow> rows;
+  rows.reserve(records.size());
+  for (const RunRecord& record : records) {
+    rows.push_back({std::to_string(record.x), record.solver,
+                    util::StrFormat("%.6f", record.utility),
+                    util::StrFormat("%.6f", record.seconds),
+                    std::to_string(record.gain_evaluations),
+                    std::to_string(record.assignments)});
+  }
+  return util::WriteCsvFile(
+      path,
+      {"x", "solver", "utility", "seconds", "gain_evaluations",
+       "assignments"},
+      rows);
+}
+
+}  // namespace ses::exp

@@ -1,0 +1,37 @@
+#ifndef SES_EXP_FIGURES_H_
+#define SES_EXP_FIGURES_H_
+
+/// \file
+/// Rendering of experiment series in the layout of the paper's figures:
+/// one row per sweep coordinate, one column per method, for a chosen
+/// metric (utility or time). Also writes CSV for external plotting.
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/status.h"
+
+namespace ses::exp {
+
+/// Which measurement a figure plots.
+enum class Metric {
+  kUtility,
+  kSeconds,
+};
+
+/// Renders \p records as an aligned text table: rows keyed by the sweep
+/// coordinate (labelled \p x_label), one column per solver in
+/// \p solver_order, values from \p metric. Includes a title line.
+std::string RenderFigure(const std::string& title, const std::string& x_label,
+                         const std::vector<std::string>& solver_order,
+                         const std::vector<RunRecord>& records,
+                         Metric metric);
+
+/// Writes the records to CSV: x,solver,utility,seconds,gain_evaluations.
+util::Status WriteRecordsCsv(const std::string& path,
+                             const std::vector<RunRecord>& records);
+
+}  // namespace ses::exp
+
+#endif  // SES_EXP_FIGURES_H_

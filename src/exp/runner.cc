@@ -1,0 +1,38 @@
+#include "exp/runner.h"
+
+#include "core/registry.h"
+#include "core/validate.h"
+#include "util/logging.h"
+
+namespace ses::exp {
+
+util::Result<std::vector<RunRecord>> RunSolvers(
+    const core::SesInstance& instance,
+    const std::vector<std::string>& solver_names,
+    const core::SolverOptions& options, int64_t x) {
+  std::vector<RunRecord> records;
+  records.reserve(solver_names.size());
+  for (const std::string& name : solver_names) {
+    auto solver = core::MakeSolver(name);
+    if (!solver.ok()) return solver.status();
+    auto result = solver.value()->Solve(instance, options);
+    if (!result.ok()) return result.status();
+
+    // Every schedule a solver returns must be feasible; fail loudly
+    // otherwise rather than reporting a bogus utility.
+    SES_RETURN_IF_ERROR(
+        core::ValidateAssignments(instance, result.value().assignments));
+
+    RunRecord record;
+    record.solver = name;
+    record.x = x;
+    record.utility = result.value().utility;
+    record.seconds = result.value().wall_seconds;
+    record.gain_evaluations = result.value().stats.gain_evaluations;
+    record.assignments = result.value().assignments.size();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace ses::exp

@@ -1,0 +1,40 @@
+#ifndef SES_EXP_RUNNER_H_
+#define SES_EXP_RUNNER_H_
+
+/// \file
+/// Experiment runner: executes a set of solvers on workload sweep points
+/// and collects per-run measurements — the machinery behind every figure
+/// reproduction in bench/.
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solver.h"
+#include "exp/workload.h"
+#include "util/status.h"
+
+namespace ses::exp {
+
+/// One measurement row.
+struct RunRecord {
+  std::string solver;
+  /// The sweep coordinate (k or |T|, depending on the experiment).
+  int64_t x = 0;
+  double utility = 0.0;
+  double seconds = 0.0;
+  uint64_t gain_evaluations = 0;
+  size_t assignments = 0;
+};
+
+/// Runs each named solver once on \p instance with \p options, validating
+/// every returned schedule. \p x tags the records with the sweep
+/// coordinate.
+util::Result<std::vector<RunRecord>> RunSolvers(
+    const core::SesInstance& instance,
+    const std::vector<std::string>& solver_names,
+    const core::SolverOptions& options, int64_t x);
+
+}  // namespace ses::exp
+
+#endif  // SES_EXP_RUNNER_H_

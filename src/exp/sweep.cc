@@ -1,0 +1,88 @@
+#include "exp/sweep.h"
+
+#include <map>
+
+#include "exp/runner.h"
+#include "util/string_util.h"
+
+namespace ses::exp {
+
+util::Result<std::vector<SweepCell>> RunRepeatedSweep(
+    const WorkloadFactory& factory, const std::vector<int64_t>& xs,
+    const ConfigFactory& make_config,
+    const std::vector<std::string>& solvers, int repetitions,
+    uint64_t base_seed) {
+  if (repetitions <= 0) {
+    return util::Status::InvalidArgument("repetitions must be positive");
+  }
+  // (x, solver) -> samples
+  std::map<std::pair<int64_t, std::string>,
+           std::pair<std::vector<double>, std::vector<double>>>
+      samples;
+  for (int64_t x : xs) {
+    for (int rep = 0; rep < repetitions; ++rep) {
+      const uint64_t seed =
+          base_seed + static_cast<uint64_t>(rep) * 1000003ULL +
+          static_cast<uint64_t>(x);
+      const PaperWorkloadConfig config = make_config(x, seed);
+      auto instance = factory.Build(config);
+      if (!instance.ok()) return instance.status();
+      core::SolverOptions options;
+      options.k = config.k;
+      options.seed = seed;
+      auto records = RunSolvers(*instance, solvers, options, x);
+      if (!records.ok()) return records.status();
+      for (const RunRecord& record : *records) {
+        auto& cell = samples[{x, record.solver}];
+        cell.first.push_back(record.utility);
+        cell.second.push_back(record.seconds);
+      }
+    }
+  }
+
+  std::vector<SweepCell> cells;
+  cells.reserve(samples.size());
+  for (const auto& [key, values] : samples) {
+    SweepCell cell;
+    cell.x = key.first;
+    cell.solver = key.second;
+    cell.utility = util::Summarize(values.first);
+    cell.seconds = util::Summarize(values.second);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::string RenderSweepTable(const std::string& title,
+                             const std::string& x_label,
+                             const std::vector<std::string>& solver_order,
+                             const std::vector<SweepCell>& cells,
+                             bool show_seconds) {
+  std::map<int64_t, std::map<std::string, const SweepCell*>> grid;
+  for (const SweepCell& cell : cells) {
+    grid[cell.x][cell.solver] = &cell;
+  }
+  std::string out = "=== " + title + " ===\n";
+  out += util::StrFormat("%10s", x_label.c_str());
+  for (const std::string& solver : solver_order) {
+    out += util::StrFormat(" %22s", solver.c_str());
+  }
+  out += "\n";
+  for (const auto& [x, row] : grid) {
+    out += util::StrFormat("%10lld", static_cast<long long>(x));
+    for (const std::string& solver : solver_order) {
+      auto it = row.find(solver);
+      if (it == row.end()) {
+        out += util::StrFormat(" %22s", "-");
+        continue;
+      }
+      const util::Summary& s =
+          show_seconds ? it->second->seconds : it->second->utility;
+      out += util::StrFormat(" %14.2f +-%6.2f", s.mean, s.stddev);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ses::exp

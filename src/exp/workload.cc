@@ -1,0 +1,117 @@
+#include "exp/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace ses::exp {
+
+namespace {
+
+/// Applies the min-interest threshold and the per-event user cap.
+std::vector<std::pair<core::UserIndex, float>> ToInterestRow(
+    std::vector<ebsn::UserInterest> interests, double min_interest,
+    int64_t cap) {
+  if (cap > 0 && interests.size() > static_cast<size_t>(cap)) {
+    // Keep the `cap` most interested users.
+    std::nth_element(interests.begin(), interests.begin() + cap,
+                     interests.end(),
+                     [](const ebsn::UserInterest& a,
+                        const ebsn::UserInterest& b) {
+                       return a.interest > b.interest;
+                     });
+    interests.resize(static_cast<size_t>(cap));
+    std::sort(interests.begin(), interests.end(),
+              [](const ebsn::UserInterest& a, const ebsn::UserInterest& b) {
+                return a.user < b.user;
+              });
+  }
+  std::vector<std::pair<core::UserIndex, float>> row;
+  row.reserve(interests.size());
+  for (const ebsn::UserInterest& ui : interests) {
+    if (ui.interest < min_interest) continue;
+    row.push_back({static_cast<core::UserIndex>(ui.user), ui.interest});
+  }
+  return row;
+}
+
+}  // namespace
+
+WorkloadFactory::WorkloadFactory(const ebsn::EbsnDataset& dataset)
+    : dataset_(&dataset), interest_(dataset) {}
+
+util::Result<core::SesInstance> WorkloadFactory::Build(
+    const PaperWorkloadConfig& config) const {
+  if (config.k <= 0) {
+    return util::Status::InvalidArgument("k must be positive");
+  }
+  const int64_t num_intervals = config.ResolvedIntervals();
+  const int64_t num_events = config.ResolvedEvents();
+  if (num_intervals <= 0) {
+    return util::Status::InvalidArgument("|T| must be positive");
+  }
+  if (num_events < config.k) {
+    return util::Status::InvalidArgument("|E| must be at least k");
+  }
+  const size_t catalog_size = dataset_->events().size();
+  if (catalog_size == 0) {
+    return util::Status::FailedPrecondition("dataset has no events");
+  }
+  if (static_cast<size_t>(num_events) > catalog_size) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "|E|=%lld exceeds the catalog (%zu events)",
+        static_cast<long long>(num_events), catalog_size));
+  }
+
+  util::Rng rng(config.seed);
+  core::InstanceBuilder builder;
+  builder.SetNumUsers(static_cast<uint32_t>(dataset_->users().size()))
+      .SetNumIntervals(static_cast<uint32_t>(num_intervals))
+      .SetTheta(config.theta)
+      .SetSigma(std::make_shared<core::HashUniformSigma>(config.seed ^
+                                                         0x5161a5ea11ULL));
+
+  // Candidate events: a uniform catalog sample without replacement.
+  const std::vector<uint32_t> candidate_ids = util::SampleWithoutReplacement(
+      rng, static_cast<uint32_t>(catalog_size),
+      static_cast<uint32_t>(num_events));
+  for (uint32_t id : candidate_ids) {
+    const auto& record = dataset_->events()[id];
+    auto row = ToInterestRow(
+        interest_.EventInterests(record.tags,
+                                 static_cast<float>(config.min_interest)),
+        config.min_interest, config.max_users_per_event);
+    const core::LocationId location = static_cast<core::LocationId>(
+        rng.NextBounded(static_cast<uint64_t>(config.num_locations)));
+    const double xi = rng.UniformDouble(config.xi_min, config.xi_max);
+    builder.AddEvent(location, xi, std::move(row));
+  }
+
+  // Competing events: per interval, round(Uniform(mean-spread,
+  // mean+spread)) third-party events drawn from the catalog.
+  for (int64_t t = 0; t < num_intervals; ++t) {
+    const double raw = rng.UniformDouble(
+        config.competing_mean - config.competing_spread,
+        config.competing_mean + config.competing_spread);
+    const int64_t count = std::max<int64_t>(0, std::llround(raw));
+    for (int64_t c = 0; c < count; ++c) {
+      const uint32_t id =
+          static_cast<uint32_t>(rng.NextBounded(catalog_size));
+      const auto& record = dataset_->events()[id];
+      auto row = ToInterestRow(
+          interest_.EventInterests(record.tags,
+                                   static_cast<float>(config.min_interest)),
+          config.min_interest, config.max_users_per_event);
+      builder.AddCompetingEvent(static_cast<core::IntervalIndex>(t),
+                                std::move(row));
+    }
+  }
+
+  return builder.Build();
+}
+
+}  // namespace ses::exp

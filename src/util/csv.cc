@@ -1,0 +1,107 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+namespace ses::util {
+
+Result<CsvRow> ParseCsvLine(const std::string& line) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!field.empty()) {
+        return Status::ParseError("quote in unquoted field: " + line);
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote: " + line);
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::string FormatCsvRow(const CsvRow& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& field = row[i];
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) {
+      out.append(field);
+      continue;
+    }
+    out.push_back('"');
+    for (char c : field) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                        bool expect_header, CsvRow* header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<CsvRow> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto parsed = ParseCsvLine(line);
+    if (!parsed.ok()) return parsed.status();
+    if (first && expect_header) {
+      if (header != nullptr) *header = std::move(parsed).value();
+      first = false;
+      continue;
+    }
+    first = false;
+    rows.push_back(std::move(parsed).value());
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvRow& header,
+                    const std::vector<CsvRow>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  if (!header.empty()) out << FormatCsvRow(header) << "\n";
+  for (const CsvRow& row : rows) out << FormatCsvRow(row) << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace ses::util

@@ -1,0 +1,38 @@
+#ifndef SES_UTIL_CSV_H_
+#define SES_UTIL_CSV_H_
+
+/// \file
+/// Minimal CSV reading/writing with RFC-4180 quoting, used for dataset
+/// persistence and experiment reports.
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ses::util {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single CSV line (no trailing newline) honoring double-quote
+/// escaping. Returns ParseError on unbalanced quotes.
+Result<CsvRow> ParseCsvLine(const std::string& line);
+
+/// Serializes \p row, quoting fields that contain separators, quotes or
+/// newlines.
+std::string FormatCsvRow(const CsvRow& row);
+
+/// Reads a whole CSV file. When \p expect_header is true the first row is
+/// returned separately in \p header (may be nullptr to discard).
+Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                        bool expect_header,
+                                        CsvRow* header);
+
+/// Writes \p rows (with optional \p header) to \p path, overwriting.
+Status WriteCsvFile(const std::string& path, const CsvRow& header,
+                    const std::vector<CsvRow>& rows);
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_CSV_H_

@@ -1,0 +1,111 @@
+#include "util/flags.h"
+
+#include "util/string_util.h"
+
+namespace ses::util {
+
+void FlagSet::AddInt(const std::string& name, int64_t* target,
+                     const std::string& help) {
+  flags_.push_back(
+      {name, Type::kInt, target, help, std::to_string(*target)});
+}
+
+void FlagSet::AddDouble(const std::string& name, double* target,
+                        const std::string& help) {
+  flags_.push_back(
+      {name, Type::kDouble, target, help, StrFormat("%g", *target)});
+}
+
+void FlagSet::AddString(const std::string& name, std::string* target,
+                        const std::string& help) {
+  flags_.push_back({name, Type::kString, target, help, *target});
+}
+
+void FlagSet::AddBool(const std::string& name, bool* target,
+                      const std::string& help) {
+  flags_.push_back(
+      {name, Type::kBool, target, help, *target ? "true" : "false"});
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagSet::Assign(Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kInt: {
+      auto parsed = ParseInt64(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<int64_t*>(flag.target) = parsed.value();
+      return Status::Ok();
+    }
+    case Type::kDouble: {
+      auto parsed = ParseDouble(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<double*>(flag.target) = parsed.value();
+      return Status::Ok();
+    }
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return Status::Ok();
+    case Type::kBool: {
+      auto parsed = ParseBool(value);
+      if (!parsed.ok()) return parsed.status();
+      *static_cast<bool*>(flag.target) = parsed.value();
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+    }
+    SES_RETURN_IF_ERROR(Assign(*flag, value));
+  }
+  return Status::Ok();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "Usage: " + program_ + " [flags]\n";
+  for (const Flag& flag : flags_) {
+    out += StrFormat("  --%-24s %s (default: %s)\n", flag.name.c_str(),
+                     flag.help.c_str(), flag.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace ses::util

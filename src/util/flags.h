@@ -1,0 +1,77 @@
+#ifndef SES_UTIL_FLAGS_H_
+#define SES_UTIL_FLAGS_H_
+
+/// \file
+/// Tiny command-line flag parser for examples and bench binaries.
+///
+/// Usage:
+///   FlagSet flags("my_tool");
+///   int k = 100;
+///   flags.AddInt("k", &k, "number of scheduled events");
+///   auto status = flags.Parse(argc, argv);
+///
+/// Accepted forms: --name=value, --name value, and --name for bools.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ses::util {
+
+/// A set of named command-line flags bound to caller-owned storage.
+class FlagSet {
+ public:
+  /// \param program name shown in Usage().
+  explicit FlagSet(std::string program) : program_(std::move(program)) {}
+
+  /// Registers an int64 flag bound to \p target (holds its default).
+  void AddInt(const std::string& name, int64_t* target,
+              const std::string& help);
+
+  /// Registers a double flag bound to \p target.
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help);
+
+  /// Registers a string flag bound to \p target.
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help);
+
+  /// Registers a bool flag bound to \p target. "--name" sets it true;
+  /// "--name=false" is also accepted.
+  void AddBool(const std::string& name, bool* target,
+               const std::string& help);
+
+  /// Parses argv, writing values into the bound targets. Unknown flags are
+  /// errors; non-flag arguments are collected into positional().
+  Status Parse(int argc, const char* const* argv);
+
+  /// Non-flag arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Help text describing all registered flags and their defaults.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Flag* Find(const std::string& name);
+  Status Assign(Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_FLAGS_H_

@@ -1,0 +1,90 @@
+#ifndef SES_UTIL_LOGGING_H_
+#define SES_UTIL_LOGGING_H_
+
+/// \file
+/// Minimal leveled logging plus SES_CHECK assertion macros.
+///
+/// Logging is stderr-based and synchronized per message. The active level
+/// is process-global; benches set it to kWarning to keep figure output
+/// clean.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace ses::util {
+
+/// Severity of a log message, ordered from most to least verbose.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that will be emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+/// Internal: one in-flight log message; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Internal: swallows the stream when the message is below the active
+/// level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace ses::util
+
+#define SES_LOG_IS_ON(level) \
+  (::ses::util::LogLevel::level >= ::ses::util::GetLogLevel())
+
+/// Usage: SES_LOG(kInfo) << "built " << n << " assignments";
+#define SES_LOG(level)                                               \
+  if (!SES_LOG_IS_ON(level))                                         \
+    ;                                                                \
+  else                                                               \
+    ::ses::util::LogMessage(::ses::util::LogLevel::level, __FILE__,  \
+                            __LINE__)                                \
+        .stream()
+
+/// Aborts with a message when \p cond is false. Active in all build modes;
+/// reserved for programming errors (API misuse), not data errors.
+#define SES_CHECK(cond)                                              \
+  if (cond)                                                          \
+    ;                                                                \
+  else                                                               \
+    ::ses::util::LogMessage(::ses::util::LogLevel::kFatal, __FILE__, \
+                            __LINE__)                                \
+            .stream()                                                \
+        << "Check failed: " #cond " "
+
+#define SES_CHECK_EQ(a, b) SES_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SES_CHECK_NE(a, b) SES_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SES_CHECK_LT(a, b) SES_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SES_CHECK_LE(a, b) SES_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SES_CHECK_GT(a, b) SES_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define SES_CHECK_GE(a, b) SES_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // SES_UTIL_LOGGING_H_

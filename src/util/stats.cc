@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace ses::util {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double q) {
+  SES_CHECK(!sorted.empty());
+  SES_CHECK_GE(q, 0.0);
+  SES_CHECK_LE(q, 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  RunningStat rs;
+  for (double v : values) rs.Add(v);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p50 = PercentileSorted(sorted, 0.50);
+  s.p90 = PercentileSorted(sorted, 0.90);
+  s.p99 = PercentileSorted(sorted, 0.99);
+  return s;
+}
+
+std::string Summary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g sd=%.4g min=%.4g p50=%.4g p90=%.4g "
+                "p99=%.4g max=%.4g",
+                count, mean, stddev, min, p50, p90, p99, max);
+  return buf;
+}
+
+}  // namespace ses::util

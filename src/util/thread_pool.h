@@ -1,0 +1,59 @@
+#ifndef SES_UTIL_THREAD_POOL_H_
+#define SES_UTIL_THREAD_POOL_H_
+
+/// \file
+/// Fixed-size worker pool with a blocking ParallelFor, used to parallelize
+/// initial assignment-score generation on multi-core machines. On a single
+/// core machine the pool degrades gracefully to near-serial execution.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ses::util {
+
+/// A fixed set of worker threads consuming a FIFO task queue.
+class ThreadPool {
+ public:
+  /// \param num_threads worker count; 0 means hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
+  /// shards across the pool, and blocks until all shards complete.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_THREAD_POOL_H_

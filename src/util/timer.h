@@ -1,0 +1,34 @@
+#ifndef SES_UTIL_TIMER_H_
+#define SES_UTIL_TIMER_H_
+
+/// \file
+/// Wall-clock timing for experiment harnesses.
+
+#include <chrono>
+
+namespace ses::util {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_TIMER_H_

@@ -1,0 +1,197 @@
+#include "core/attendance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/objective.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ses::core {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Parameterized over seeds: every property below must hold on random
+/// instances of varied shape.
+class AttendancePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SesInstance MakeInstance() const {
+    test::RandomInstanceConfig config;
+    config.seed = GetParam();
+    config.num_users = 25 + GetParam() % 17;
+    config.num_events = 6 + GetParam() % 5;
+    config.num_intervals = 3 + GetParam() % 3;
+    return test::MakeRandomInstance(config);
+  }
+};
+
+TEST_P(AttendancePropertyTest, MarginalGainMatchesReferenceScore) {
+  const SesInstance instance = MakeInstance();
+  AttendanceModel model(instance);
+  util::Rng rng(GetParam() * 31 + 1);
+
+  // Check gains against the slow reference both on the empty schedule and
+  // as the schedule grows.
+  for (int step = 0; step < 4; ++step) {
+    for (EventIndex e = 0; e < instance.num_events(); ++e) {
+      if (model.schedule().IsAssigned(e)) continue;
+      for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+        const double fast = model.MarginalGain(e, t);
+        const double slow =
+            AssignmentScore(instance, model.schedule(), e, t);
+        ASSERT_NEAR(fast, slow, 1e-6)
+            << "step " << step << " event " << e << " interval " << t;
+      }
+    }
+    // Grow the schedule by one random valid assignment.
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const EventIndex e = static_cast<EventIndex>(
+          rng.NextBounded(instance.num_events()));
+      const IntervalIndex t = static_cast<IntervalIndex>(
+          rng.NextBounded(instance.num_intervals()));
+      if (model.CanAssign(e, t)) {
+        model.Apply(e, t);
+        placed = true;
+      }
+    }
+    if (!placed) break;
+  }
+}
+
+TEST_P(AttendancePropertyTest, TrackedUtilityMatchesReference) {
+  const SesInstance instance = MakeInstance();
+  AttendanceModel model(instance);
+  util::Rng rng(GetParam() * 17 + 3);
+
+  for (int step = 0; step < 6; ++step) {
+    const EventIndex e =
+        static_cast<EventIndex>(rng.NextBounded(instance.num_events()));
+    const IntervalIndex t = static_cast<IntervalIndex>(
+        rng.NextBounded(instance.num_intervals()));
+    if (!model.CanAssign(e, t)) continue;
+    model.Apply(e, t);
+    ASSERT_NEAR(model.total_utility(),
+                TotalUtility(instance, model.schedule()), 1e-6);
+  }
+}
+
+TEST_P(AttendancePropertyTest, GainsAreNonNegative) {
+  const SesInstance instance = MakeInstance();
+  AttendanceModel model(instance);
+  for (EventIndex e = 0; e < instance.num_events(); ++e) {
+    for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      ASSERT_GE(model.MarginalGain(e, t), -kTol);
+    }
+  }
+}
+
+TEST_P(AttendancePropertyTest, GainsShrinkAsIntervalFills) {
+  const SesInstance instance = MakeInstance();
+  AttendanceModel model(instance);
+
+  // Record empty-schedule gains at interval 0, then fill interval 0 and
+  // verify no gain increased (the submodularity-style property that
+  // justifies GRD's update rule and lazy greedy).
+  std::vector<double> before(instance.num_events());
+  for (EventIndex e = 0; e < instance.num_events(); ++e) {
+    before[e] = model.MarginalGain(e, 0);
+  }
+  EventIndex placed = kInvalidIndex;
+  for (EventIndex e = 0; e < instance.num_events(); ++e) {
+    if (model.CanAssign(e, 0)) {
+      model.Apply(e, 0);
+      placed = e;
+      break;
+    }
+  }
+  ASSERT_NE(placed, kInvalidIndex);
+  for (EventIndex e = 0; e < instance.num_events(); ++e) {
+    if (model.schedule().IsAssigned(e)) continue;
+    ASSERT_LE(model.MarginalGain(e, 0), before[e] + 1e-9)
+        << "gain increased for event " << e;
+  }
+}
+
+TEST_P(AttendancePropertyTest, UnapplyRestoresUtility) {
+  const SesInstance instance = MakeInstance();
+  AttendanceModel model(instance);
+  util::Rng rng(GetParam() * 13 + 7);
+
+  // Build a small schedule.
+  for (int step = 0; step < 3; ++step) {
+    const EventIndex e =
+        static_cast<EventIndex>(rng.NextBounded(instance.num_events()));
+    const IntervalIndex t = static_cast<IntervalIndex>(
+        rng.NextBounded(instance.num_intervals()));
+    if (model.CanAssign(e, t)) model.Apply(e, t);
+  }
+  const double baseline = model.total_utility();
+  const auto assignments = model.schedule().Assignments();
+  if (assignments.empty()) return;
+
+  // Apply + unapply a new event: utility must return to baseline.
+  for (EventIndex e = 0; e < instance.num_events(); ++e) {
+    if (model.schedule().IsAssigned(e)) continue;
+    for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      if (!model.CanAssign(e, t)) continue;
+      model.Apply(e, t);
+      model.Unapply(e);
+      ASSERT_NEAR(model.total_utility(), baseline, 1e-6);
+      ASSERT_NEAR(model.total_utility(),
+                  TotalUtility(instance, model.schedule()), 1e-6);
+    }
+  }
+}
+
+TEST_P(AttendancePropertyTest, UnapplyAcrossIntervalsIsConsistent) {
+  const SesInstance instance = MakeInstance();
+  AttendanceModel model(instance);
+  // Assign events to different intervals, then remove them all; utility
+  // must return to zero.
+  size_t applied = 0;
+  for (EventIndex e = 0;
+       e < instance.num_events() && applied < instance.num_intervals();
+       ++e) {
+    const IntervalIndex t = static_cast<IntervalIndex>(applied);
+    if (model.CanAssign(e, t)) {
+      model.Apply(e, t);
+      ++applied;
+    }
+  }
+  for (const Assignment& a : model.schedule().Assignments()) {
+    model.Unapply(a.event);
+  }
+  EXPECT_NEAR(model.total_utility(), 0.0, 1e-7);
+  EXPECT_EQ(model.schedule().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttendancePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(AttendanceModelTest, GainEvaluationCounter) {
+  test::RandomInstanceConfig config;
+  const SesInstance instance = test::MakeRandomInstance(config);
+  AttendanceModel model(instance);
+  EXPECT_EQ(model.gain_evaluations(), 0u);
+  model.MarginalGain(0, 0);
+  model.MarginalGain(1, 0);
+  EXPECT_EQ(model.gain_evaluations(), 2u);
+}
+
+TEST(AttendanceModelTest, ZeroDenominatorUserContributesSigma) {
+  // A user interested in exactly one event with no competition attends
+  // with probability sigma regardless of mu.
+  InstanceBuilder builder;
+  builder.SetNumUsers(1).SetNumIntervals(1).SetTheta(10.0).SetSigma(
+      std::make_shared<ConstSigma>(0.37));
+  builder.AddEvent(0, 1.0, {{0, 0.123f}});
+  auto instance = builder.Build();
+  ASSERT_TRUE(instance.ok());
+  AttendanceModel model(*instance);
+  EXPECT_NEAR(model.MarginalGain(0, 0), 0.37, 1e-6);
+}
+
+}  // namespace
+}  // namespace ses::core

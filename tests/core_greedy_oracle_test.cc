@@ -1,0 +1,76 @@
+/// Algorithm 1 conformance: GRD must pick, at every step, a valid
+/// assignment whose Eq. 4 score (under the current schedule) is maximal
+/// among all remaining valid assignments — verified against a slow
+/// oracle that rescans the full pair space with the reference scorer.
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "core/schedule.h"
+#include "tests/test_util.h"
+
+namespace ses::core {
+namespace {
+
+class GreedyOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyOracleTest, EverySelectionIsAMaxScoreValidAssignment) {
+  test::RandomInstanceConfig config;
+  config.seed = GetParam();
+  config.num_users = 25;
+  config.num_events = 9;
+  config.num_intervals = 4;
+  const SesInstance instance = test::MakeRandomInstance(config);
+
+  GreedySolver grd;
+  SolverOptions options;
+  options.k = 5;
+  auto result = grd.Solve(instance, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignments.size(), 5u);
+
+  // GRD reports assignments sorted by (interval, event), not in
+  // selection order; recover the selection order by replaying greedy
+  // decisions: at each step the chosen one must be the argmax among the
+  // result's remaining assignments AND no unchosen valid pair may beat
+  // it.
+  Schedule schedule(instance);
+  std::vector<Assignment> remaining = result->assignments;
+  while (!remaining.empty()) {
+    // Oracle: global max score over all valid assignments.
+    double best_score = -1.0;
+    for (EventIndex e = 0; e < instance.num_events(); ++e) {
+      for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+        if (!schedule.CanAssign(e, t)) continue;
+        best_score =
+            std::max(best_score, AssignmentScore(instance, schedule, e, t));
+      }
+    }
+    // One of the remaining chosen assignments must achieve it.
+    size_t chosen = remaining.size();
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const Assignment& a = remaining[i];
+      if (!schedule.CanAssign(a.event, a.interval)) continue;
+      const double score =
+          AssignmentScore(instance, schedule, a.event, a.interval);
+      if (score >= best_score - 1e-7) {
+        chosen = i;
+        break;
+      }
+    }
+    ASSERT_LT(chosen, remaining.size())
+        << "no remaining greedy pick achieves the oracle max "
+        << best_score;
+    ASSERT_TRUE(
+        schedule.Assign(remaining[chosen].event, remaining[chosen].interval)
+            .ok());
+    remaining.erase(remaining.begin() + static_cast<long>(chosen));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyOracleTest,
+                         ::testing::Values(3, 14, 15, 92, 65, 35));
+
+}  // namespace
+}  // namespace ses::core

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/annealing.h"
+#include "core/greedy.h"
+#include "core/local_search.h"
+#include "core/random_schedule.h"
+#include "core/validate.h"
+#include "tests/test_util.h"
+
+namespace ses::core {
+namespace {
+
+class ImprovementTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SesInstance MakeInstance() const {
+    test::RandomInstanceConfig config;
+    config.seed = GetParam();
+    config.num_users = 30;
+    config.num_events = 10;
+    config.num_intervals = 5;
+    return test::MakeRandomInstance(config);
+  }
+
+  SolverOptions Options() const {
+    SolverOptions options;
+    options.k = 4;
+    options.seed = GetParam();
+    options.max_iterations = 3000;
+    return options;
+  }
+};
+
+TEST_P(ImprovementTest, LocalSearchReturnsFeasibleK) {
+  const SesInstance instance = MakeInstance();
+  LocalSearchSolver ls;
+  auto result = ls.Solve(instance, Options());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(ValidateAssignments(instance, result->assignments, 4).ok());
+}
+
+TEST_P(ImprovementTest, LocalSearchImprovesOnRandomSeedSchedule) {
+  const SesInstance instance = MakeInstance();
+  const SolverOptions options = Options();
+
+  RandomSolver rand;
+  auto base = rand.Solve(instance, options);
+  ASSERT_TRUE(base.ok());
+
+  LocalSearchSolver ls;
+  auto improved = ls.Solve(instance, options);
+  ASSERT_TRUE(improved.ok());
+  // LS starts from the identical RAND schedule (same seed) and only
+  // accepts improving moves.
+  EXPECT_GE(improved->utility, base->utility - 1e-9);
+}
+
+TEST_P(ImprovementTest, LocalSearchOnGreedyNeverRegresses) {
+  const SesInstance instance = MakeInstance();
+  SolverOptions options = Options();
+  options.base_solver = BaseSolver::kGreedy;
+
+  GreedySolver grd;
+  auto base = grd.Solve(instance, options);
+  ASSERT_TRUE(base.ok());
+
+  LocalSearchSolver ls;
+  auto improved = ls.Solve(instance, options);
+  ASSERT_TRUE(improved.ok());
+  EXPECT_GE(improved->utility, base->utility - 1e-9);
+}
+
+TEST_P(ImprovementTest, AnnealingReturnsFeasibleK) {
+  const SesInstance instance = MakeInstance();
+  SolverOptions options = Options();
+  options.initial_temperature = 0.5;
+  SimulatedAnnealingSolver anneal;
+  auto result = anneal.Solve(instance, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(ValidateAssignments(instance, result->assignments, 4).ok());
+}
+
+TEST_P(ImprovementTest, AnnealingTracksBestNotLast) {
+  const SesInstance instance = MakeInstance();
+  SolverOptions options = Options();
+  options.initial_temperature = 0.8;
+
+  RandomSolver rand;
+  auto base = rand.Solve(instance, options);
+  ASSERT_TRUE(base.ok());
+
+  SimulatedAnnealingSolver anneal;
+  auto result = anneal.Solve(instance, options);
+  ASSERT_TRUE(result.ok());
+  // The reported schedule is the best visited, which includes the seed.
+  EXPECT_GE(result->utility, base->utility - 1e-9);
+}
+
+TEST_P(ImprovementTest, MoveCountersPopulated) {
+  const SesInstance instance = MakeInstance();
+  LocalSearchSolver ls;
+  auto result = ls.Solve(instance, Options());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.moves_tried, 0u);
+  EXPECT_GE(result->stats.moves_tried, result->stats.moves_accepted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImprovementTest,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+TEST(AnnealingOptionsTest, RejectsBadTemperatureAndCooling) {
+  test::RandomInstanceConfig config;
+  const SesInstance instance = test::MakeRandomInstance(config);
+  SimulatedAnnealingSolver anneal;
+  SolverOptions options;
+  options.k = 2;
+  options.initial_temperature = 0.0;
+  EXPECT_FALSE(anneal.Solve(instance, options).ok());
+  options.initial_temperature = 1.0;
+  options.cooling = 1.5;
+  EXPECT_FALSE(anneal.Solve(instance, options).ok());
+}
+
+}  // namespace
+}  // namespace ses::core

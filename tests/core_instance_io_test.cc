@@ -1,0 +1,167 @@
+#include "core/instance_io.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/objective.h"
+#include "tests/test_util.h"
+#include "util/csv.h"
+
+namespace ses::core {
+namespace {
+
+class InstanceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ses_inst_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(InstanceIoTest, RoundTripPreservesStructure) {
+  test::RandomInstanceConfig config;
+  config.seed = 77;
+  config.num_users = 20;
+  config.num_events = 6;
+  config.num_intervals = 4;
+  const SesInstance original = test::MakeRandomInstance(config);
+
+  SigmaSpec spec;
+  spec.kind = SigmaSpec::Kind::kHash;
+  spec.seed = config.seed;  // matches MakeRandomInstance's sigma
+  ASSERT_TRUE(SaveInstance(original, spec, dir_.string()).ok());
+
+  auto loaded = LoadInstance(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const SesInstance& copy = loaded.value();
+
+  EXPECT_EQ(copy.num_users(), original.num_users());
+  EXPECT_EQ(copy.num_events(), original.num_events());
+  EXPECT_EQ(copy.num_intervals(), original.num_intervals());
+  EXPECT_EQ(copy.num_competing(), original.num_competing());
+  EXPECT_DOUBLE_EQ(copy.theta(), original.theta());
+
+  for (EventIndex e = 0; e < original.num_events(); ++e) {
+    EXPECT_EQ(copy.event(e).location, original.event(e).location);
+    EXPECT_DOUBLE_EQ(copy.event(e).required_resources,
+                     original.event(e).required_resources);
+    auto users_a = original.EventUsers(e);
+    auto users_b = copy.EventUsers(e);
+    ASSERT_EQ(users_a.size(), users_b.size());
+    for (size_t i = 0; i < users_a.size(); ++i) {
+      EXPECT_EQ(users_a[i], users_b[i]);
+      EXPECT_FLOAT_EQ(original.EventValues(e)[i], copy.EventValues(e)[i]);
+    }
+  }
+  for (CompetingIndex c = 0; c < original.num_competing(); ++c) {
+    EXPECT_EQ(copy.competing(c).interval, original.competing(c).interval);
+    EXPECT_EQ(copy.CompetingUsers(c).size(),
+              original.CompetingUsers(c).size());
+  }
+}
+
+TEST_F(InstanceIoTest, RoundTripPreservesSolverBehavior) {
+  test::RandomInstanceConfig config;
+  config.seed = 99;
+  const SesInstance original = test::MakeRandomInstance(config);
+  SigmaSpec spec;
+  spec.kind = SigmaSpec::Kind::kHash;
+  spec.seed = config.seed;
+  ASSERT_TRUE(SaveInstance(original, spec, dir_.string()).ok());
+  auto loaded = LoadInstance(dir_.string());
+  ASSERT_TRUE(loaded.ok());
+
+  GreedySolver grd;
+  SolverOptions options;
+  options.k = 3;
+  auto a = grd.Solve(original, options);
+  auto b = grd.Solve(*loaded, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+  EXPECT_NEAR(a->utility, b->utility, 1e-9);
+}
+
+TEST_F(InstanceIoTest, ConstSigmaRoundTrip) {
+  InstanceBuilder builder;
+  builder.SetNumUsers(3).SetNumIntervals(2).SetTheta(4.0).SetSigma(
+      std::make_shared<ConstSigma>(0.25));
+  builder.AddEvent(0, 1.0, {{0, 0.5f}, {2, 0.75f}});
+  builder.AddCompetingEvent(1, {{1, 0.4f}});
+  auto instance = builder.Build();
+  ASSERT_TRUE(instance.ok());
+
+  SigmaSpec spec;
+  spec.kind = SigmaSpec::Kind::kConst;
+  spec.const_value = 0.25;
+  ASSERT_TRUE(SaveInstance(*instance, spec, dir_.string()).ok());
+  auto loaded = LoadInstance(dir_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded->sigma().At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(loaded->sigma().At(2, 1), 0.25);
+
+  // Utility computed on the copy matches the original exactly.
+  Schedule s1(*instance);
+  ASSERT_TRUE(s1.Assign(0, 1).ok());
+  Schedule s2(*loaded);
+  ASSERT_TRUE(s2.Assign(0, 1).ok());
+  EXPECT_NEAR(TotalUtility(*instance, s1), TotalUtility(*loaded, s2), 1e-12);
+}
+
+TEST_F(InstanceIoTest, LoadFromEmptyDirFails) {
+  auto loaded = LoadInstance((dir_ / "missing").string());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(InstanceIoTest, CorruptMetaFails) {
+  test::RandomInstanceConfig config;
+  const SesInstance original = test::MakeRandomInstance(config);
+  SigmaSpec spec;
+  ASSERT_TRUE(SaveInstance(original, spec, dir_.string()).ok());
+  // Truncate meta.csv to just its header.
+  ASSERT_TRUE(
+      util::WriteCsvFile((dir_ / "meta.csv").string(), {"key", "value"}, {})
+          .ok());
+  auto loaded = LoadInstance(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kParseError);
+}
+
+TEST_F(InstanceIoTest, OutOfRangeTripletFails) {
+  test::RandomInstanceConfig config;
+  config.num_events = 3;
+  const SesInstance original = test::MakeRandomInstance(config);
+  SigmaSpec spec;
+  ASSERT_TRUE(SaveInstance(original, spec, dir_.string()).ok());
+  // Append an interest row for a non-existent event id.
+  std::vector<util::CsvRow> rows{{"99", "0", "0.5"}};
+  ASSERT_TRUE(util::WriteCsvFile((dir_ / "event_interests.csv").string(),
+                                 {"event_id", "user_id", "mu"}, rows)
+                  .ok());
+  auto loaded = LoadInstance(dir_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(SigmaSpecTest, InstantiateMatchesKind) {
+  SigmaSpec const_spec;
+  const_spec.kind = SigmaSpec::Kind::kConst;
+  const_spec.const_value = 0.6;
+  auto const_sigma = const_spec.Instantiate();
+  EXPECT_DOUBLE_EQ(const_sigma->At(5, 7), 0.6);
+
+  SigmaSpec hash_spec;
+  hash_spec.kind = SigmaSpec::Kind::kHash;
+  hash_spec.seed = 42;
+  auto hash_sigma = hash_spec.Instantiate();
+  HashUniformSigma reference(42);
+  EXPECT_DOUBLE_EQ(hash_sigma->At(5, 7), reference.At(5, 7));
+}
+
+}  // namespace
+}  // namespace ses::core

@@ -1,0 +1,124 @@
+#include "core/objective.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace ses::core {
+namespace {
+
+/// The worked example used throughout:
+///   users u0, u1; intervals t0, t1; sigma = 1;
+///   e0: mu(u0)=0.8, mu(u1)=0.4; e1: mu(u0)=0.6;
+///   competing c0 at t0 with mu(u0)=0.5.
+SesInstance MakeWorkedExample(double sigma = 1.0) {
+  InstanceBuilder builder;
+  builder.SetNumUsers(2).SetNumIntervals(2).SetTheta(100.0).SetSigma(
+      std::make_shared<ConstSigma>(sigma));
+  builder.AddEvent(/*location=*/0, /*xi=*/1.0, {{0, 0.8f}, {1, 0.4f}});
+  builder.AddEvent(/*location=*/1, /*xi=*/1.0, {{0, 0.6f}});
+  builder.AddCompetingEvent(0, {{0, 0.5f}});
+  auto instance = builder.Build();
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+constexpr double kTol = 2e-7;
+
+TEST(ObjectiveTest, SingleEventWithCompetition) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule schedule(instance);
+  ASSERT_TRUE(schedule.Assign(0, 0).ok());
+
+  // u0: denominator = 0.5 (competing) + 0.8 (e0) = 1.3.
+  EXPECT_NEAR(AttendanceProbability(instance, schedule, 0, 0), 0.8 / 1.3,
+              kTol);
+  // u1: no competing interest; denominator = 0.4 -> probability 1.
+  EXPECT_NEAR(AttendanceProbability(instance, schedule, 1, 0), 1.0, kTol);
+  EXPECT_NEAR(ExpectedAttendance(instance, schedule, 0), 0.8 / 1.3 + 1.0,
+              kTol);
+  EXPECT_NEAR(TotalUtility(instance, schedule), 0.8 / 1.3 + 1.0, kTol);
+}
+
+TEST(ObjectiveTest, TwoEventsShareOneInterval) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule schedule(instance);
+  ASSERT_TRUE(schedule.Assign(0, 0).ok());
+  ASSERT_TRUE(schedule.Assign(1, 0).ok());
+
+  // u0's denominator at t0: 0.5 + 0.8 + 0.6 = 1.9.
+  EXPECT_NEAR(AttendanceProbability(instance, schedule, 0, 0), 0.8 / 1.9,
+              kTol);
+  EXPECT_NEAR(AttendanceProbability(instance, schedule, 0, 1), 0.6 / 1.9,
+              kTol);
+  EXPECT_NEAR(ExpectedAttendance(instance, schedule, 0), 0.8 / 1.9 + 1.0,
+              kTol);
+  EXPECT_NEAR(ExpectedAttendance(instance, schedule, 1), 0.6 / 1.9, kTol);
+  EXPECT_NEAR(TotalUtility(instance, schedule),
+              0.8 / 1.9 + 1.0 + 0.6 / 1.9, kTol);
+}
+
+TEST(ObjectiveTest, NoCompetitionMeansProbabilityOne) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule schedule(instance);
+  // t1 has no competing events; e1 alone there -> u0 attends surely.
+  ASSERT_TRUE(schedule.Assign(1, 1).ok());
+  EXPECT_NEAR(AttendanceProbability(instance, schedule, 0, 1), 1.0, kTol);
+  EXPECT_NEAR(TotalUtility(instance, schedule), 1.0, kTol);
+}
+
+TEST(ObjectiveTest, SigmaScalesEverything) {
+  const SesInstance half = MakeWorkedExample(0.5);
+  Schedule schedule(half);
+  ASSERT_TRUE(schedule.Assign(0, 0).ok());
+  EXPECT_NEAR(TotalUtility(half, schedule), 0.5 * (0.8 / 1.3 + 1.0), kTol);
+}
+
+TEST(ObjectiveTest, UninterestedUserHasZeroProbability) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule schedule(instance);
+  ASSERT_TRUE(schedule.Assign(1, 0).ok());
+  // u1 has no interest in e1.
+  EXPECT_DOUBLE_EQ(AttendanceProbability(instance, schedule, 1, 1), 0.0);
+}
+
+TEST(ObjectiveTest, EmptyScheduleHasZeroUtility) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule schedule(instance);
+  EXPECT_DOUBLE_EQ(TotalUtility(instance, schedule), 0.0);
+}
+
+TEST(AssignmentScoreTest, FirstAssignmentScoreEqualsItsUtility) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule empty(instance);
+  const double score = AssignmentScore(instance, empty, 0, 0);
+  Schedule with(instance);
+  ASSERT_TRUE(with.Assign(0, 0).ok());
+  EXPECT_NEAR(score, TotalUtility(instance, with), kTol);
+}
+
+TEST(AssignmentScoreTest, SecondAssignmentScoreIsUtilityDelta) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule schedule(instance);
+  ASSERT_TRUE(schedule.Assign(0, 0).ok());
+  const double before = TotalUtility(instance, schedule);
+  const double score = AssignmentScore(instance, schedule, 1, 0);
+
+  Schedule with = schedule;
+  ASSERT_TRUE(with.Assign(1, 0).ok());
+  EXPECT_NEAR(score, TotalUtility(instance, with) - before, kTol);
+  // Hand value: (0.8/1.9 + 1 + 0.6/1.9) - (0.8/1.3 + 1).
+  EXPECT_NEAR(score, (1.4 / 1.9) - (0.8 / 1.3), kTol);
+}
+
+TEST(AssignmentScoreTest, EmptyIntervalBeatsCrowdedInterval) {
+  const SesInstance instance = MakeWorkedExample();
+  Schedule schedule(instance);
+  ASSERT_TRUE(schedule.Assign(0, 0).ok());
+  // Placing e1 at the empty, competition-free t1 dominates t0.
+  EXPECT_GT(AssignmentScore(instance, schedule, 1, 1),
+            AssignmentScore(instance, schedule, 1, 0));
+}
+
+}  // namespace
+}  // namespace ses::core

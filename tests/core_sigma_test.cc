@@ -1,0 +1,90 @@
+#include "core/sigma.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ses::core {
+namespace {
+
+TEST(ConstSigmaTest, ReturnsConstant) {
+  ConstSigma sigma(0.7);
+  EXPECT_DOUBLE_EQ(sigma.At(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(sigma.At(99, 5), 0.7);
+  std::vector<float> row(8);
+  sigma.FillInterval(3, row);
+  for (float v : row) EXPECT_FLOAT_EQ(v, 0.7f);
+}
+
+TEST(DenseSigmaTest, MatrixLookup) {
+  DenseSigma sigma({{0.1f, 0.2f}, {0.3f, 0.4f}});
+  EXPECT_DOUBLE_EQ(sigma.At(0, 0), 0.10000000149011612);
+  EXPECT_FLOAT_EQ(static_cast<float>(sigma.At(1, 0)), 0.2f);
+  EXPECT_FLOAT_EQ(static_cast<float>(sigma.At(0, 1)), 0.3f);
+  std::vector<float> row(2);
+  sigma.FillInterval(1, row);
+  EXPECT_FLOAT_EQ(row[0], 0.3f);
+  EXPECT_FLOAT_EQ(row[1], 0.4f);
+}
+
+TEST(HashUniformSigmaTest, DeterministicAndInRange) {
+  HashUniformSigma a(123);
+  HashUniformSigma b(123);
+  for (UserIndex u = 0; u < 50; ++u) {
+    for (IntervalIndex t = 0; t < 5; ++t) {
+      const double v = a.At(u, t);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+      EXPECT_DOUBLE_EQ(v, b.At(u, t));
+    }
+  }
+}
+
+TEST(HashUniformSigmaTest, SeedChangesValues) {
+  HashUniformSigma a(1);
+  HashUniformSigma b(2);
+  int differences = 0;
+  for (UserIndex u = 0; u < 64; ++u) {
+    if (a.At(u, 0) != b.At(u, 0)) ++differences;
+  }
+  EXPECT_GT(differences, 56);
+}
+
+TEST(HashUniformSigmaTest, RoughlyUniformMean) {
+  HashUniformSigma sigma(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += sigma.At(static_cast<UserIndex>(i % 2000),
+                    static_cast<IntervalIndex>(i / 2000));
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(HashUniformSigmaTest, FillIntervalMatchesAt) {
+  HashUniformSigma sigma(99);
+  std::vector<float> row(128);
+  sigma.FillInterval(4, row);
+  for (UserIndex u = 0; u < row.size(); ++u) {
+    EXPECT_FLOAT_EQ(row[u], static_cast<float>(sigma.At(u, 4)));
+  }
+}
+
+TEST(SigmaProviderTest, DefaultFillIntervalUsesAt) {
+  // Exercise the base-class FillInterval through a minimal provider.
+  class Ramp final : public SigmaProvider {
+   public:
+    double At(UserIndex u, IntervalIndex t) const override {
+      return (static_cast<double>(u) + t) / 1000.0;
+    }
+  };
+  Ramp ramp;
+  std::vector<float> row(5);
+  ramp.FillInterval(2, row);
+  for (UserIndex u = 0; u < 5; ++u) {
+    EXPECT_FLOAT_EQ(row[u], static_cast<float>((u + 2) / 1000.0));
+  }
+}
+
+}  // namespace
+}  // namespace ses::core

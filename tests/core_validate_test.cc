@@ -1,0 +1,81 @@
+#include "core/validate.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace ses::core {
+namespace {
+
+SesInstance MakeInstance() {
+  InstanceBuilder builder;
+  builder.SetNumUsers(2).SetNumIntervals(2).SetTheta(5.0).SetSigma(
+      std::make_shared<ConstSigma>(1.0));
+  builder.AddEvent(/*location=*/0, /*xi=*/3.0, {{0, 0.5f}});
+  builder.AddEvent(/*location=*/0, /*xi=*/3.0, {{1, 0.5f}});
+  builder.AddEvent(/*location=*/1, /*xi=*/1.0, {});
+  auto instance = builder.Build();
+  EXPECT_TRUE(instance.ok());
+  return std::move(instance).value();
+}
+
+TEST(ValidateAssignmentsTest, AcceptsEmpty) {
+  const SesInstance instance = MakeInstance();
+  EXPECT_TRUE(ValidateAssignments(instance, {}).ok());
+}
+
+TEST(ValidateAssignmentsTest, AcceptsFeasibleSchedule) {
+  const SesInstance instance = MakeInstance();
+  const std::vector<Assignment> assignments{{0, 0}, {2, 0}, {1, 1}};
+  EXPECT_TRUE(ValidateAssignments(instance, assignments).ok());
+}
+
+TEST(ValidateAssignmentsTest, EnforcesExpectedK) {
+  const SesInstance instance = MakeInstance();
+  const std::vector<Assignment> assignments{{0, 0}};
+  EXPECT_TRUE(ValidateAssignments(instance, assignments, 1).ok());
+  EXPECT_FALSE(ValidateAssignments(instance, assignments, 2).ok());
+}
+
+TEST(ValidateAssignmentsTest, RejectsOutOfRange) {
+  const SesInstance instance = MakeInstance();
+  EXPECT_FALSE(
+      ValidateAssignments(instance, {{Assignment{9, 0}}}).ok());
+  EXPECT_FALSE(
+      ValidateAssignments(instance, {{Assignment{0, 9}}}).ok());
+}
+
+TEST(ValidateAssignmentsTest, RejectsDuplicateEvent) {
+  const SesInstance instance = MakeInstance();
+  const std::vector<Assignment> assignments{{0, 0}, {0, 1}};
+  auto status = ValidateAssignments(instance, assignments);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateAssignmentsTest, RejectsLocationConflict) {
+  const SesInstance instance = MakeInstance();
+  // Events 0 and 1 share location 0.
+  const std::vector<Assignment> assignments{{0, 0}, {1, 0}};
+  auto status = ValidateAssignments(instance, assignments);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInfeasible);
+}
+
+TEST(ValidateAssignmentsTest, RejectsResourceOverflow) {
+  InstanceBuilder builder;
+  builder.SetNumUsers(1).SetNumIntervals(1).SetTheta(5.0).SetSigma(
+      std::make_shared<ConstSigma>(1.0));
+  builder.AddEvent(/*location=*/0, /*xi=*/3.0, {});
+  builder.AddEvent(/*location=*/1, /*xi=*/3.0, {});
+  auto instance = builder.Build();
+  ASSERT_TRUE(instance.ok());
+  // Distinct locations, but 3 + 3 > theta = 5.
+  const std::vector<Assignment> assignments{{0, 0}, {1, 0}};
+  auto status = ValidateAssignments(*instance, assignments);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace ses::core

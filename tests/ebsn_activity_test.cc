@@ -1,0 +1,98 @@
+#include "ebsn/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/generator.h"
+
+namespace ses::ebsn {
+namespace {
+
+EbsnDataset MakeCheckinDataset() {
+  EbsnDataset ds;
+  ds.tags().Intern("t");
+  ds.groups().push_back({"g", {0}, {0, 1, 2}});
+  ds.users().resize(3);
+  ds.users()[0] = {{0}, {0}};
+  ds.users()[1] = {{0}, {0}};
+  ds.users()[2] = {{0}, {0}};
+  ds.set_num_slots(3);
+  // User 0: very active (4 check-ins); user 1: one; user 2: none.
+  ds.checkins().push_back({0, 0});
+  ds.checkins().push_back({0, 1});
+  ds.checkins().push_back({0, 1});
+  ds.checkins().push_back({0, 2});
+  ds.checkins().push_back({1, 1});
+  return ds;
+}
+
+TEST(ActivityModelTest, ProbabilitiesWithinUnitInterval) {
+  const EbsnDataset ds = MakeCheckinDataset();
+  ActivityModel model(ds);
+  for (EbsnUserId u = 0; u < 3; ++u) {
+    for (uint32_t s = 0; s < 3; ++s) {
+      const double p = model.Probability(u, s);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(ActivityModelTest, MoreActiveUserHasHigherRate) {
+  const EbsnDataset ds = MakeCheckinDataset();
+  ActivityModel model(ds);
+  EXPECT_GT(model.UserRate(0), model.UserRate(1));
+  EXPECT_GT(model.UserRate(1), model.UserRate(2));
+}
+
+TEST(ActivityModelTest, SmoothingKeepsInactiveUsersPositive) {
+  const EbsnDataset ds = MakeCheckinDataset();
+  ActivityModel model(ds, /*smoothing=*/1.0);
+  EXPECT_GT(model.UserRate(2), 0.0);
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_GT(model.Probability(2, s), 0.0);
+  }
+}
+
+TEST(ActivityModelTest, MostActiveUserHasRateOne) {
+  const EbsnDataset ds = MakeCheckinDataset();
+  ActivityModel model(ds);
+  EXPECT_DOUBLE_EQ(model.UserRate(0), 1.0);
+}
+
+TEST(ActivityModelTest, BusiestSlotHasWeightOne) {
+  const EbsnDataset ds = MakeCheckinDataset();
+  ActivityModel model(ds);
+  // Slot 1 has 3 of the 5 check-ins.
+  EXPECT_DOUBLE_EQ(model.SlotWeight(1), 1.0);
+  EXPECT_LT(model.SlotWeight(0), 1.0);
+  EXPECT_GT(model.SlotWeight(0), model.SlotWeight(2) - 1e-12);
+}
+
+TEST(ActivityModelTest, NoCheckinsDegradesGracefully) {
+  EbsnDataset ds = MakeCheckinDataset();
+  ds.checkins().clear();
+  ActivityModel model(ds);
+  for (EbsnUserId u = 0; u < 3; ++u) {
+    EXPECT_DOUBLE_EQ(model.UserRate(u), 1.0);  // all equal after smoothing
+  }
+}
+
+TEST(ActivityModelTest, WorksOnSyntheticData) {
+  SyntheticMeetupConfig config;
+  config.num_users = 400;
+  config.num_events = 50;
+  config.num_groups = 20;
+  config.num_tags = 30;
+  config.num_slots = 12;
+  const EbsnDataset ds = GenerateSyntheticMeetup(config);
+  ActivityModel model(ds);
+  EXPECT_EQ(model.num_slots(), 12u);
+  double mean = 0.0;
+  for (EbsnUserId u = 0; u < 400; ++u) mean += model.UserRate(u);
+  mean /= 400;
+  EXPECT_GT(mean, 0.0);
+  EXPECT_LT(mean, 1.0);
+}
+
+}  // namespace
+}  // namespace ses::ebsn

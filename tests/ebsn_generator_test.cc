@@ -1,0 +1,121 @@
+#include "ebsn/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/dataset_stats.h"
+
+namespace ses::ebsn {
+namespace {
+
+SyntheticMeetupConfig SmallConfig() {
+  SyntheticMeetupConfig config;
+  config.num_users = 500;
+  config.num_events = 300;
+  config.num_groups = 40;
+  config.num_tags = 60;
+  config.num_slots = 8;
+  config.seed = 99;
+  return config;
+}
+
+TEST(GeneratorTest, ProducesRequestedSizes) {
+  const EbsnDataset ds = GenerateSyntheticMeetup(SmallConfig());
+  EXPECT_EQ(ds.users().size(), 500u);
+  EXPECT_EQ(ds.events().size(), 300u);
+  EXPECT_EQ(ds.groups().size(), 40u);
+  EXPECT_EQ(ds.tags().size(), 60u);
+  EXPECT_EQ(ds.num_slots(), 8u);
+}
+
+TEST(GeneratorTest, OutputValidates) {
+  const EbsnDataset ds = GenerateSyntheticMeetup(SmallConfig());
+  EXPECT_TRUE(ds.Validate().ok());
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const EbsnDataset a = GenerateSyntheticMeetup(SmallConfig());
+  const EbsnDataset b = GenerateSyntheticMeetup(SmallConfig());
+  ASSERT_EQ(a.users().size(), b.users().size());
+  for (size_t u = 0; u < a.users().size(); ++u) {
+    EXPECT_EQ(a.users()[u].groups, b.users()[u].groups);
+    EXPECT_EQ(a.users()[u].tags, b.users()[u].tags);
+  }
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t e = 0; e < a.events().size(); ++e) {
+    EXPECT_EQ(a.events()[e].organizer, b.events()[e].organizer);
+  }
+  EXPECT_EQ(a.checkins().size(), b.checkins().size());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  SyntheticMeetupConfig config = SmallConfig();
+  const EbsnDataset a = GenerateSyntheticMeetup(config);
+  config.seed = 100;
+  const EbsnDataset b = GenerateSyntheticMeetup(config);
+  size_t differing = 0;
+  for (size_t u = 0; u < a.users().size(); ++u) {
+    if (a.users()[u].groups != b.users()[u].groups) ++differing;
+  }
+  EXPECT_GT(differing, a.users().size() / 4);
+}
+
+TEST(GeneratorTest, EveryUserJoinsAtLeastOneGroup) {
+  const EbsnDataset ds = GenerateSyntheticMeetup(SmallConfig());
+  for (const UserProfile& user : ds.users()) {
+    EXPECT_GE(user.groups.size(), 1u);
+    EXPECT_GE(user.tags.size(), 1u);
+  }
+}
+
+TEST(GeneratorTest, GroupTagCountsWithinBounds) {
+  SyntheticMeetupConfig config = SmallConfig();
+  config.group_tags_min = 3;
+  config.group_tags_max = 10;
+  const EbsnDataset ds = GenerateSyntheticMeetup(config);
+  for (const Group& group : ds.groups()) {
+    EXPECT_GE(group.tags.size(), 3u);
+    EXPECT_LE(group.tags.size(), 10u);
+  }
+}
+
+TEST(GeneratorTest, EventsInheritOrganizerTags) {
+  const EbsnDataset ds = GenerateSyntheticMeetup(SmallConfig());
+  for (const EventRecord& event : ds.events()) {
+    EXPECT_EQ(event.tags, ds.groups()[event.organizer].tags);
+  }
+}
+
+TEST(GeneratorTest, GroupPopularityIsHeavyTailed) {
+  const EbsnDataset ds = GenerateSyntheticMeetup(SmallConfig());
+  size_t max_size = 0;
+  size_t total = 0;
+  for (const Group& group : ds.groups()) {
+    max_size = std::max(max_size, group.members.size());
+    total += group.members.size();
+  }
+  const double mean = static_cast<double>(total) / ds.groups().size();
+  // Zipf membership: the largest group should dwarf the average.
+  EXPECT_GT(static_cast<double>(max_size), 3.0 * mean);
+}
+
+TEST(GeneratorTest, CheckinsRespectSlotRange) {
+  const EbsnDataset ds = GenerateSyntheticMeetup(SmallConfig());
+  EXPECT_FALSE(ds.checkins().empty());
+  for (const CheckIn& checkin : ds.checkins()) {
+    EXPECT_LT(checkin.slot, ds.num_slots());
+    EXPECT_LT(checkin.user, ds.users().size());
+  }
+}
+
+TEST(GeneratorTest, StatsReportCoversDataset) {
+  const EbsnDataset ds = GenerateSyntheticMeetup(SmallConfig());
+  const DatasetStats stats = ComputeDatasetStats(ds);
+  EXPECT_EQ(stats.num_users, 500u);
+  EXPECT_EQ(stats.num_events, 300u);
+  EXPECT_GT(stats.groups_per_user.mean, 0.9);
+  EXPECT_GT(stats.tags_per_event.mean, 2.9);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+}  // namespace
+}  // namespace ses::ebsn

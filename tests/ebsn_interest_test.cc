@@ -1,0 +1,117 @@
+#include "ebsn/interest.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/generator.h"
+
+namespace ses::ebsn {
+namespace {
+
+/// 3 users with known tag sets against hand-checkable events.
+EbsnDataset MakeHandDataset() {
+  EbsnDataset ds;
+  for (int t = 0; t < 6; ++t) {
+    ds.tags().Intern("t" + std::to_string(t));
+  }
+  ds.groups().push_back({"g0", {0, 1, 2, 3, 4, 5}, {0, 1, 2}});
+  ds.users().resize(3);
+  ds.users()[0] = {{0}, {0, 1}};        // tags {0,1}
+  ds.users()[1] = {{0}, {0, 1, 2, 3}};  // tags {0,1,2,3}
+  ds.users()[2] = {{0}, {4, 5}};        // tags {4,5}
+  ds.events().push_back({0, {0, 1}});   // event tags {0,1}
+  return ds;
+}
+
+TEST(InterestModelTest, JaccardMatchesHandComputation) {
+  const EbsnDataset ds = MakeHandDataset();
+  InterestModel model(ds);
+  const std::vector<TagId> event_tags{0, 1};
+  // user0: |{0,1} ∩ {0,1}| / |{0,1}| = 2/2 = 1.
+  EXPECT_FLOAT_EQ(model.UserEventJaccard(0, event_tags), 1.0f);
+  // user1: 2 / 4 = 0.5.
+  EXPECT_FLOAT_EQ(model.UserEventJaccard(1, event_tags), 0.5f);
+  // user2: 0 / 4 = 0.
+  EXPECT_FLOAT_EQ(model.UserEventJaccard(2, event_tags), 0.0f);
+}
+
+TEST(InterestModelTest, EventInterestsContainsExactlyOverlappingUsers) {
+  const EbsnDataset ds = MakeHandDataset();
+  InterestModel model(ds);
+  const auto interests = model.EventInterests({0, 1}, 0.0f);
+  ASSERT_EQ(interests.size(), 2u);
+  EXPECT_EQ(interests[0].user, 0u);
+  EXPECT_FLOAT_EQ(interests[0].interest, 1.0f);
+  EXPECT_EQ(interests[1].user, 1u);
+  EXPECT_FLOAT_EQ(interests[1].interest, 0.5f);
+}
+
+TEST(InterestModelTest, MinInterestFilters) {
+  const EbsnDataset ds = MakeHandDataset();
+  InterestModel model(ds);
+  const auto interests = model.EventInterests({0, 1}, 0.6f);
+  ASSERT_EQ(interests.size(), 1u);
+  EXPECT_EQ(interests[0].user, 0u);
+}
+
+TEST(InterestModelTest, ScratchResetsBetweenCalls) {
+  const EbsnDataset ds = MakeHandDataset();
+  InterestModel model(ds);
+  const auto first = model.EventInterests({0, 1}, 0.0f);
+  const auto second = model.EventInterests({0, 1}, 0.0f);
+  EXPECT_EQ(first, second);
+}
+
+TEST(InterestModelTest, UsersWithTagIndex) {
+  const EbsnDataset ds = MakeHandDataset();
+  InterestModel model(ds);
+  EXPECT_EQ(model.UsersWithTag(0), (std::vector<EbsnUserId>{0, 1}));
+  EXPECT_EQ(model.UsersWithTag(4), (std::vector<EbsnUserId>{2}));
+}
+
+TEST(InterestModelTest, InvertedIndexAgreesWithReferenceOnSynthetic) {
+  SyntheticMeetupConfig config;
+  config.num_users = 300;
+  config.num_events = 50;
+  config.num_groups = 25;
+  config.num_tags = 40;
+  config.seed = 5;
+  const EbsnDataset ds = GenerateSyntheticMeetup(config);
+  InterestModel model(ds);
+
+  for (size_t e = 0; e < 10; ++e) {
+    const auto& tags = ds.events()[e].tags;
+    const auto sparse = model.EventInterests(tags, 0.0f);
+    // Cross-check every user against the merge-join reference.
+    size_t cursor = 0;
+    for (EbsnUserId u = 0; u < ds.users().size(); ++u) {
+      const float reference = model.UserEventJaccard(u, tags);
+      if (cursor < sparse.size() && sparse[cursor].user == u) {
+        EXPECT_NEAR(sparse[cursor].interest, reference, 1e-6)
+            << "event " << e << " user " << u;
+        ++cursor;
+      } else {
+        EXPECT_EQ(reference, 0.0f) << "event " << e << " user " << u;
+      }
+    }
+    EXPECT_EQ(cursor, sparse.size());
+  }
+}
+
+TEST(InterestModelTest, ResultsSortedByUser) {
+  SyntheticMeetupConfig config;
+  config.num_users = 200;
+  config.num_events = 20;
+  config.num_groups = 10;
+  config.num_tags = 30;
+  const EbsnDataset ds = GenerateSyntheticMeetup(config);
+  InterestModel model(ds);
+  for (size_t e = 0; e < ds.events().size(); ++e) {
+    const auto sparse = model.EventInterests(ds.events()[e].tags, 0.0f);
+    for (size_t i = 1; i < sparse.size(); ++i) {
+      EXPECT_LT(sparse[i - 1].user, sparse[i].user);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ses::ebsn

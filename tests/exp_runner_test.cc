@@ -1,0 +1,87 @@
+#include "exp/runner.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "exp/figures.h"
+#include "tests/test_util.h"
+#include "util/csv.h"
+
+namespace ses::exp {
+namespace {
+
+TEST(RunnerTest, ProducesOneRecordPerSolver) {
+  test::RandomInstanceConfig config;
+  config.num_events = 8;
+  config.num_intervals = 4;
+  const core::SesInstance instance = test::MakeRandomInstance(config);
+
+  core::SolverOptions options;
+  options.k = 3;
+  auto records = RunSolvers(instance, {"grd", "top", "rand"}, options, 3);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].solver, "grd");
+  EXPECT_EQ((*records)[1].solver, "top");
+  EXPECT_EQ((*records)[2].solver, "rand");
+  for (const RunRecord& record : *records) {
+    EXPECT_EQ(record.x, 3);
+    EXPECT_GE(record.utility, 0.0);
+    EXPECT_GE(record.seconds, 0.0);
+    EXPECT_EQ(record.assignments, 3u);
+  }
+}
+
+TEST(RunnerTest, UnknownSolverFails) {
+  test::RandomInstanceConfig config;
+  const core::SesInstance instance = test::MakeRandomInstance(config);
+  core::SolverOptions options;
+  options.k = 2;
+  EXPECT_FALSE(RunSolvers(instance, {"nope"}, options, 0).ok());
+}
+
+TEST(FiguresTest, RenderContainsSolversAndValues) {
+  std::vector<RunRecord> records;
+  records.push_back({"grd", 100, 123.45, 0.5, 10, 100});
+  records.push_back({"top", 100, 67.89, 0.1, 5, 100});
+  records.push_back({"grd", 200, 222.22, 1.5, 20, 200});
+
+  const std::string table = RenderFigure(
+      "Fig 1a", "k", {"grd", "top"}, records, Metric::kUtility);
+  EXPECT_NE(table.find("Fig 1a"), std::string::npos);
+  EXPECT_NE(table.find("grd"), std::string::npos);
+  EXPECT_NE(table.find("123.45"), std::string::npos);
+  EXPECT_NE(table.find("100"), std::string::npos);
+  EXPECT_NE(table.find("200"), std::string::npos);
+  // Missing (200, top) cell renders as "-".
+  EXPECT_NE(table.find("-"), std::string::npos);
+}
+
+TEST(FiguresTest, RenderSecondsMetric) {
+  std::vector<RunRecord> records;
+  records.push_back({"grd", 100, 123.45, 0.5, 10, 100});
+  const std::string table =
+      RenderFigure("Fig 1b", "k", {"grd"}, records, Metric::kSeconds);
+  EXPECT_NE(table.find("0.5000"), std::string::npos);
+}
+
+TEST(FiguresTest, CsvRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ses_records_" + std::to_string(::getpid()) + ".csv");
+  std::vector<RunRecord> records;
+  records.push_back({"grd", 100, 1.5, 0.25, 42, 100});
+  ASSERT_TRUE(WriteRecordsCsv(path.string(), records).ok());
+
+  util::CsvRow header;
+  auto rows = util::ReadCsvFile(path.string(), true, &header);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ(header[0], "x");
+  EXPECT_EQ((*rows)[0][0], "100");
+  EXPECT_EQ((*rows)[0][1], "grd");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ses::exp

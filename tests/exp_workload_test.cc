@@ -1,0 +1,148 @@
+#include "exp/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/generator.h"
+
+namespace ses::exp {
+namespace {
+
+/// A scaled-down Meetup-like dataset shared by all workload tests.
+const ebsn::EbsnDataset& TestDataset() {
+  static const ebsn::EbsnDataset* dataset = [] {
+    ebsn::SyntheticMeetupConfig config;
+    config.num_users = 800;
+    config.num_events = 400;
+    config.num_groups = 60;
+    config.num_tags = 80;
+    config.seed = 424;
+    return new ebsn::EbsnDataset(ebsn::GenerateSyntheticMeetup(config));
+  }();
+  return *dataset;
+}
+
+TEST(PaperWorkloadConfigTest, DefaultsFollowThePaper) {
+  PaperWorkloadConfig config;
+  EXPECT_EQ(config.k, 100);
+  EXPECT_EQ(config.ResolvedIntervals(), 150);  // 3k/2
+  EXPECT_EQ(config.ResolvedEvents(), 200);     // 2k
+  EXPECT_DOUBLE_EQ(config.competing_mean, 8.1);
+  EXPECT_EQ(config.num_locations, 25);
+  EXPECT_DOUBLE_EQ(config.theta, 20.0);
+  EXPECT_DOUBLE_EQ(config.xi_max, 20.0 / 3.0);
+}
+
+TEST(PaperWorkloadConfigTest, ExplicitOverridesWin) {
+  PaperWorkloadConfig config;
+  config.k = 50;
+  config.num_intervals = 10;
+  config.num_candidate_events = 60;
+  EXPECT_EQ(config.ResolvedIntervals(), 10);
+  EXPECT_EQ(config.ResolvedEvents(), 60);
+}
+
+PaperWorkloadConfig SmallConfig() {
+  PaperWorkloadConfig config;
+  config.k = 20;
+  config.competing_mean = 3.0;
+  config.competing_spread = 2.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(WorkloadFactoryTest, BuildsInstanceWithPaperShape) {
+  WorkloadFactory factory(TestDataset());
+  const PaperWorkloadConfig config = SmallConfig();
+  auto instance = factory.Build(config);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  EXPECT_EQ(instance->num_users(), 800u);
+  EXPECT_EQ(instance->num_events(), 40u);     // 2k
+  EXPECT_EQ(instance->num_intervals(), 30u);  // 3k/2
+  EXPECT_DOUBLE_EQ(instance->theta(), 20.0);
+
+  // Locations within [0, 25); xi within [1, 20/3].
+  for (core::EventIndex e = 0; e < instance->num_events(); ++e) {
+    EXPECT_LT(instance->event(e).location, 25u);
+    EXPECT_GE(instance->event(e).required_resources, 1.0);
+    EXPECT_LE(instance->event(e).required_resources, 20.0 / 3.0);
+  }
+}
+
+TEST(WorkloadFactoryTest, CompetingCountsNearConfiguredMean) {
+  WorkloadFactory factory(TestDataset());
+  PaperWorkloadConfig config = SmallConfig();
+  config.k = 40;  // more intervals -> tighter mean estimate
+  auto instance = factory.Build(config);
+  ASSERT_TRUE(instance.ok());
+
+  double total = 0.0;
+  for (core::IntervalIndex t = 0; t < instance->num_intervals(); ++t) {
+    const size_t count = instance->CompetingAt(t).size();
+    EXPECT_LE(count, 6u);  // mean 3 + spread 2 rounds to at most 5 (+1)
+    total += static_cast<double>(count);
+  }
+  const double mean = total / instance->num_intervals();
+  EXPECT_NEAR(mean, 3.0, 1.0);
+}
+
+TEST(WorkloadFactoryTest, DeterministicPerSeed) {
+  WorkloadFactory factory(TestDataset());
+  const PaperWorkloadConfig config = SmallConfig();
+  auto a = factory.Build(config);
+  auto b = factory.Build(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_events(), b->num_events());
+  for (core::EventIndex e = 0; e < a->num_events(); ++e) {
+    EXPECT_EQ(a->event(e).location, b->event(e).location);
+    EXPECT_DOUBLE_EQ(a->event(e).required_resources,
+                     b->event(e).required_resources);
+    ASSERT_EQ(a->EventUsers(e).size(), b->EventUsers(e).size());
+  }
+  EXPECT_EQ(a->num_competing(), b->num_competing());
+}
+
+TEST(WorkloadFactoryTest, InterestsRespectThreshold) {
+  WorkloadFactory factory(TestDataset());
+  PaperWorkloadConfig config = SmallConfig();
+  config.min_interest = 0.10;
+  auto instance = factory.Build(config);
+  ASSERT_TRUE(instance.ok());
+  for (core::EventIndex e = 0; e < instance->num_events(); ++e) {
+    for (float v : instance->EventValues(e)) {
+      EXPECT_GE(v, 0.10f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(WorkloadFactoryTest, UserCapBoundsRowSizes) {
+  WorkloadFactory factory(TestDataset());
+  PaperWorkloadConfig config = SmallConfig();
+  config.min_interest = 0.0;
+  config.max_users_per_event = 10;
+  auto instance = factory.Build(config);
+  ASSERT_TRUE(instance.ok());
+  for (core::EventIndex e = 0; e < instance->num_events(); ++e) {
+    EXPECT_LE(instance->EventUsers(e).size(), 10u);
+  }
+}
+
+TEST(WorkloadFactoryTest, RejectsBadConfigs) {
+  WorkloadFactory factory(TestDataset());
+  PaperWorkloadConfig config = SmallConfig();
+  config.k = 0;
+  EXPECT_FALSE(factory.Build(config).ok());
+
+  config = SmallConfig();
+  config.num_candidate_events = 5;  // < k
+  EXPECT_FALSE(factory.Build(config).ok());
+
+  config = SmallConfig();
+  config.num_candidate_events = 100000;  // > catalog
+  EXPECT_FALSE(factory.Build(config).ok());
+}
+
+}  // namespace
+}  // namespace ses::exp

@@ -1,0 +1,131 @@
+/// End-to-end pipeline test: synthesize an EBSN dataset, build the paper
+/// workload, run the paper's three methods, and check the paper's
+/// qualitative findings at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include "core/objective.h"
+#include "core/validate.h"
+#include "ebsn/generator.h"
+#include "exp/runner.h"
+#include "exp/workload.h"
+
+namespace ses {
+namespace {
+
+const ebsn::EbsnDataset& PipelineDataset() {
+  static const ebsn::EbsnDataset* dataset = [] {
+    ebsn::SyntheticMeetupConfig config;
+    config.num_users = 2000;
+    config.num_events = 800;
+    config.num_groups = 120;
+    config.num_tags = 150;
+    config.seed = 20180101;
+    return new ebsn::EbsnDataset(ebsn::GenerateSyntheticMeetup(config));
+  }();
+  return *dataset;
+}
+
+TEST(IntegrationTest, FullPipelineRunsAndSchedulesAreFeasible) {
+  exp::WorkloadFactory factory(PipelineDataset());
+  exp::PaperWorkloadConfig config;
+  config.k = 25;
+  config.seed = 3;
+  auto instance = factory.Build(config);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  core::SolverOptions options;
+  options.k = config.k;
+  options.seed = 3;
+  auto records =
+      exp::RunSolvers(*instance, {"grd", "lazy", "top", "rand"}, options,
+                      config.k);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  for (const exp::RunRecord& record : *records) {
+    EXPECT_EQ(record.assignments, 25u) << record.solver;
+    EXPECT_GT(record.utility, 0.0) << record.solver;
+  }
+}
+
+TEST(IntegrationTest, PaperFindingGreedyDominatesBaselines) {
+  exp::WorkloadFactory factory(PipelineDataset());
+
+  // Aggregate over several seeds so the comparison is not hostage to one
+  // random draw — mirrors the paper's Figure 1a finding.
+  double grd_total = 0.0;
+  double top_total = 0.0;
+  double rand_total = 0.0;
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    exp::PaperWorkloadConfig config;
+    config.k = 20;
+    config.seed = seed;
+    auto instance = factory.Build(config);
+    ASSERT_TRUE(instance.ok());
+    core::SolverOptions options;
+    options.k = config.k;
+    options.seed = seed;
+    auto records =
+        exp::RunSolvers(*instance, {"grd", "top", "rand"}, options, 0);
+    ASSERT_TRUE(records.ok());
+    grd_total += (*records)[0].utility;
+    top_total += (*records)[1].utility;
+    rand_total += (*records)[2].utility;
+  }
+  EXPECT_GT(grd_total, top_total);
+  EXPECT_GT(grd_total, rand_total);
+}
+
+TEST(IntegrationTest, PaperFindingUtilityGrowsWithIntervals) {
+  exp::WorkloadFactory factory(PipelineDataset());
+
+  double few_intervals_utility = 0.0;
+  double many_intervals_utility = 0.0;
+  for (uint64_t seed : {5ull, 6ull}) {
+    for (const int64_t intervals : {4ll, 60ll}) {
+      exp::PaperWorkloadConfig config;
+      config.k = 20;
+      config.num_intervals = intervals;
+      config.seed = seed;
+      auto instance = factory.Build(config);
+      ASSERT_TRUE(instance.ok());
+      core::SolverOptions options;
+      options.k = config.k;
+      options.seed = seed;
+      auto records = exp::RunSolvers(*instance, {"grd"}, options, intervals);
+      ASSERT_TRUE(records.ok());
+      if (intervals == 4) {
+        few_intervals_utility += (*records)[0].utility;
+      } else {
+        many_intervals_utility += (*records)[0].utility;
+      }
+    }
+  }
+  // More intervals -> less crowding and more candidate assignments ->
+  // higher utility (paper Fig. 1c trend).
+  EXPECT_GT(many_intervals_utility, few_intervals_utility);
+}
+
+TEST(IntegrationTest, GreedyUtilityIsMonotoneInK) {
+  exp::WorkloadFactory factory(PipelineDataset());
+  exp::PaperWorkloadConfig config;
+  config.k = 30;  // fixes |E| = 60, |T| = 45
+  config.num_candidate_events = 60;
+  config.num_intervals = 45;
+  config.seed = 9;
+  auto instance = factory.Build(config);
+  ASSERT_TRUE(instance.ok());
+
+  double previous = 0.0;
+  for (int64_t k : {5ll, 15ll, 30ll}) {
+    core::SolverOptions options;
+    options.k = k;
+    auto records = exp::RunSolvers(*instance, {"grd"}, options, k);
+    ASSERT_TRUE(records.ok());
+    const double utility = (*records)[0].utility;
+    EXPECT_GE(utility, previous - 1e-9) << "k=" << k;
+    previous = utility;
+  }
+}
+
+}  // namespace
+}  // namespace ses

@@ -1,0 +1,72 @@
+#ifndef SES_TESTS_TEST_UTIL_H_
+#define SES_TESTS_TEST_UTIL_H_
+
+/// \file
+/// Shared helpers for building small SES instances in tests.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/sigma.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ses::test {
+
+/// Knobs for random small instances used by property tests.
+struct RandomInstanceConfig {
+  uint32_t num_users = 30;
+  uint32_t num_events = 8;
+  uint32_t num_intervals = 4;
+  uint32_t num_locations = 3;
+  double theta = 10.0;
+  double xi_min = 1.0;
+  double xi_max = 4.0;
+  double interest_density = 0.4;  ///< P(user interested in an event)
+  double competing_per_interval = 2.0;
+  uint64_t seed = 42;
+};
+
+/// Builds a random, fully-validated small instance.
+inline core::SesInstance MakeRandomInstance(
+    const RandomInstanceConfig& config) {
+  util::Rng rng(config.seed);
+  core::InstanceBuilder builder;
+  builder.SetNumUsers(config.num_users)
+      .SetNumIntervals(config.num_intervals)
+      .SetTheta(config.theta)
+      .SetSigma(std::make_shared<core::HashUniformSigma>(config.seed));
+
+  auto random_row = [&rng, &config] {
+    std::vector<std::pair<core::UserIndex, float>> row;
+    for (core::UserIndex u = 0; u < config.num_users; ++u) {
+      if (rng.Bernoulli(config.interest_density)) {
+        row.push_back(
+            {u, static_cast<float>(rng.UniformDouble(0.05, 1.0))});
+      }
+    }
+    return row;
+  };
+
+  for (uint32_t e = 0; e < config.num_events; ++e) {
+    const core::LocationId location = static_cast<core::LocationId>(
+        rng.NextBounded(config.num_locations));
+    const double xi = rng.UniformDouble(config.xi_min, config.xi_max);
+    builder.AddEvent(location, xi, random_row());
+  }
+  for (uint32_t t = 0; t < config.num_intervals; ++t) {
+    const int count = util::PoissonSample(rng, config.competing_per_interval);
+    for (int c = 0; c < count; ++c) {
+      builder.AddCompetingEvent(t, random_row());
+    }
+  }
+  auto instance = builder.Build();
+  SES_CHECK(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+}  // namespace ses::test
+
+#endif  // SES_TESTS_TEST_UTIL_H_

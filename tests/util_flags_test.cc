@@ -1,0 +1,104 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace ses::util {
+namespace {
+
+struct Bound {
+  int64_t k = 100;
+  double rate = 0.5;
+  std::string name = "default";
+  bool verbose = false;
+};
+
+FlagSet MakeFlags(Bound& bound) {
+  FlagSet flags("tool");
+  flags.AddInt("k", &bound.k, "count");
+  flags.AddDouble("rate", &bound.rate, "a rate");
+  flags.AddString("name", &bound.name, "a name");
+  flags.AddBool("verbose", &bound.verbose, "chatty");
+  return flags;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool", "--k=7", "--rate=0.25", "--name=abc",
+                        "--verbose=true"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(bound.k, 7);
+  EXPECT_DOUBLE_EQ(bound.rate, 0.25);
+  EXPECT_EQ(bound.name, "abc");
+  EXPECT_TRUE(bound.verbose);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool", "--k", "9", "--name", "xyz"};
+  ASSERT_TRUE(flags.Parse(5, argv).ok());
+  EXPECT_EQ(bound.k, 9);
+  EXPECT_EQ(bound.name, "xyz");
+}
+
+TEST(FlagsTest, BareBoolSetsTrue) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool", "--verbose"};
+  ASSERT_TRUE(flags.Parse(2, argv).ok());
+  EXPECT_TRUE(bound.verbose);
+}
+
+TEST(FlagsTest, DefaultsPreservedWhenAbsent) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(flags.Parse(1, argv).ok());
+  EXPECT_EQ(bound.k, 100);
+  EXPECT_DOUBLE_EQ(bound.rate, 0.5);
+  EXPECT_EQ(bound.name, "default");
+  EXPECT_FALSE(bound.verbose);
+}
+
+TEST(FlagsTest, PositionalCollected) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool", "pos1", "--k=2", "pos2"};
+  ASSERT_TRUE(flags.Parse(4, argv).ok());
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool", "--bogus=1"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool", "--k"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, BadTypeFails) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const char* argv[] = {"tool", "--k=notanint"};
+  EXPECT_FALSE(flags.Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--k"), std::string::npos);
+  EXPECT_NE(usage.find("100"), std::string::npos);
+  EXPECT_NE(usage.find("chatty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ses::util

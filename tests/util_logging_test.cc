@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ses::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, GatingMacroRespectsLevel) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(SES_LOG_IS_ON(kDebug));
+  EXPECT_FALSE(SES_LOG_IS_ON(kInfo));
+  EXPECT_FALSE(SES_LOG_IS_ON(kWarning));
+  EXPECT_TRUE(SES_LOG_IS_ON(kError));
+  EXPECT_TRUE(SES_LOG_IS_ON(kFatal));
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_TRUE(SES_LOG_IS_ON(kDebug));
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotEvaluateEagerly) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  SES_LOG(kDebug) << "value " << count();
+  EXPECT_EQ(evaluations, 0) << "stream args of a suppressed message ran";
+  SES_LOG(kError) << "value " << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ SES_CHECK(1 == 2) << "impossible"; }, "Check failed");
+  EXPECT_DEATH(SES_CHECK_EQ(3, 4), "Check failed");
+  EXPECT_DEATH(SES_CHECK_LT(5, 5), "Check failed");
+}
+
+TEST(CheckDeathTest, PassingChecksAreSilent) {
+  SES_CHECK(true);
+  SES_CHECK_EQ(2, 2);
+  SES_CHECK_NE(2, 3);
+  SES_CHECK_LT(1, 2);
+  SES_CHECK_LE(2, 2);
+  SES_CHECK_GT(3, 2);
+  SES_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ses::util

@@ -1,0 +1,115 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ses::util {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.sum(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_EQ(rs.mean(), 5.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 5.0);
+  EXPECT_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance of the classic dataset: 32/7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesCombined) {
+  RunningStat left;
+  RunningStat right;
+  RunningStat combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    left.Add(x);
+    combined.Add(x);
+  }
+  for (int i = 0; i < 70; ++i) {
+    const double x = i * -0.21 + 8.0;
+    right.Add(x);
+    combined.Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-9);
+  EXPECT_EQ(left.min(), combined.min());
+  EXPECT_EQ(left.max(), combined.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStat b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(PercentileSorted(sorted, 1.0 / 3.0), 20.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_EQ(PercentileSorted({7.5}, 0.5), 7.5);
+}
+
+TEST(SummarizeTest, EmptySample) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, BasicFields) {
+  std::vector<double> values;
+  for (int i = 1; i <= 100; ++i) values.push_back(static_cast<double>(i));
+  Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(SummarizeTest, UnsortedInputHandled) {
+  Summary s = Summarize({5.0, 1.0, 3.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+}  // namespace
+}  // namespace ses::util

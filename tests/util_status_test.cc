@@ -1,0 +1,121 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ses::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, NamedConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "INVALID_ARGUMENT"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NOT_FOUND"},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange, "OUT_OF_RANGE"},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition,
+       "FAILED_PRECONDITION"},
+      {Status::AlreadyExists("e"), StatusCode::kAlreadyExists,
+       "ALREADY_EXISTS"},
+      {Status::ResourceExhausted("f"), StatusCode::kResourceExhausted,
+       "RESOURCE_EXHAUSTED"},
+      {Status::Internal("g"), StatusCode::kInternal, "INTERNAL"},
+      {Status::Unimplemented("h"), StatusCode::kUnimplemented,
+       "UNIMPLEMENTED"},
+      {Status::IoError("i"), StatusCode::kIoError, "IO_ERROR"},
+      {Status::ParseError("j"), StatusCode::kParseError, "PARSE_ERROR"},
+      {Status::Infeasible("k"), StatusCode::kInfeasible, "INFEASIBLE"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeToString(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(41);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 41);
+  EXPECT_EQ(*r, 41);
+  EXPECT_EQ(r.value_or(0), 41);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Chained(int x) {
+  SES_RETURN_IF_ERROR(FailWhenNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chained(1).ok());
+  EXPECT_EQ(Chained(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubledOrError(int x) {
+  SES_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  auto ok = DoubledOrError(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_FALSE(DoubledOrError(-5).ok());
+}
+
+}  // namespace
+}  // namespace ses::util

@@ -1,0 +1,67 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ses::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(1);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> hits(1000, 0);
+  pool.ParallelFor(0, hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(5, 5, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeFewerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(0, 3, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.Submit([&counter] { counter.fetch_add(10); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+}  // namespace
+}  // namespace ses::util

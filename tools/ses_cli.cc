@@ -1,0 +1,240 @@
+/// ses_cli — command-line front end for the whole library.
+///
+/// Subcommands:
+///   generate-data --out=DIR [--users=N --events=N --groups=N --tags=N
+///                  --seed=N]
+///       Synthesizes a Meetup-like EBSN dataset and saves it as CSV.
+///
+///   build-instance --data=DIR --out=DIR [--k=N --intervals=N --events=N
+///                  --competing-mean=X --seed=N]
+///       Builds the paper's Section IV-A workload from a dataset and
+///       persists the SES instance.
+///
+///   solve --instance=DIR [--solver=grd --k=N --seed=N]
+///       Loads an instance, runs a solver, prints the schedule summary.
+///
+///   info --instance=DIR | --data=DIR
+///       Prints shape statistics for an instance or a dataset.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/instance_io.h"
+#include "core/objective.h"
+#include "core/registry.h"
+#include "core/validate.h"
+#include "ebsn/dataset.h"
+#include "ebsn/dataset_stats.h"
+#include "ebsn/generator.h"
+#include "exp/workload.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ses;
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerateData(int argc, const char* const* argv) {
+  std::string out;
+  int64_t users = 42444;
+  int64_t events = 16000;
+  int64_t groups = 1500;
+  int64_t tags = 600;
+  int64_t seed = 20180416;
+  util::FlagSet flags("ses_cli generate-data");
+  flags.AddString("out", &out, "output directory (created)");
+  flags.AddInt("users", &users, "number of users");
+  flags.AddInt("events", &events, "catalog size");
+  flags.AddInt("groups", &groups, "number of groups");
+  flags.AddInt("tags", &tags, "tag vocabulary size");
+  flags.AddInt("seed", &seed, "generator seed");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status);
+  }
+  if (out.empty()) {
+    return Fail(util::Status::InvalidArgument("--out is required"));
+  }
+  ebsn::SyntheticMeetupConfig config;
+  config.num_users = static_cast<uint32_t>(users);
+  config.num_events = static_cast<uint32_t>(events);
+  config.num_groups = static_cast<uint32_t>(groups);
+  config.num_tags = static_cast<uint32_t>(tags);
+  config.seed = static_cast<uint64_t>(seed);
+  const ebsn::EbsnDataset dataset = ebsn::GenerateSyntheticMeetup(config);
+  std::filesystem::create_directories(out);
+  if (auto status = dataset.Save(out); !status.ok()) return Fail(status);
+  std::printf("wrote dataset to %s\n%s", out.c_str(),
+              ebsn::ComputeDatasetStats(dataset).ToString().c_str());
+  return 0;
+}
+
+int CmdBuildInstance(int argc, const char* const* argv) {
+  std::string data;
+  std::string out;
+  int64_t k = 100;
+  int64_t intervals = -1;
+  int64_t events = -1;
+  double competing_mean = 8.1;
+  int64_t seed = 7;
+  util::FlagSet flags("ses_cli build-instance");
+  flags.AddString("data", &data, "dataset directory");
+  flags.AddString("out", &out, "output instance directory (created)");
+  flags.AddInt("k", &k, "target schedule size");
+  flags.AddInt("intervals", &intervals, "|T| (-1 = paper default 3k/2)");
+  flags.AddInt("events", &events, "|E| (-1 = paper default 2k)");
+  flags.AddDouble("competing-mean", &competing_mean,
+                  "competing events per interval, mean");
+  flags.AddInt("seed", &seed, "workload seed");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status);
+  }
+  if (data.empty() || out.empty()) {
+    return Fail(
+        util::Status::InvalidArgument("--data and --out are required"));
+  }
+  auto dataset = ebsn::EbsnDataset::Load(data);
+  if (!dataset.ok()) return Fail(dataset.status());
+
+  exp::WorkloadFactory factory(dataset.value());
+  exp::PaperWorkloadConfig config;
+  config.k = k;
+  config.num_intervals = intervals;
+  config.num_candidate_events = events;
+  config.competing_mean = competing_mean;
+  config.seed = static_cast<uint64_t>(seed);
+  auto instance = factory.Build(config);
+  if (!instance.ok()) return Fail(instance.status());
+
+  core::SigmaSpec spec;
+  spec.kind = core::SigmaSpec::Kind::kHash;
+  spec.seed = static_cast<uint64_t>(seed) ^ 0x5161a5ea11ULL;
+  std::filesystem::create_directories(out);
+  if (auto status = core::SaveInstance(*instance, spec, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote instance to %s: |U|=%u |E|=%u |T|=%u |C|=%u\n",
+              out.c_str(), instance->num_users(), instance->num_events(),
+              instance->num_intervals(), instance->num_competing());
+  return 0;
+}
+
+int CmdSolve(int argc, const char* const* argv) {
+  std::string instance_dir;
+  std::string solver_name = "grd";
+  int64_t k = 100;
+  int64_t seed = 1;
+  bool print_schedule = false;
+  util::FlagSet flags("ses_cli solve");
+  flags.AddString("instance", &instance_dir, "instance directory");
+  flags.AddString("solver", &solver_name, "grd|lazy|top|rand|ls|anneal|exact");
+  flags.AddInt("k", &k, "schedule size");
+  flags.AddInt("seed", &seed, "solver seed");
+  flags.AddBool("print-schedule", &print_schedule,
+                "print every assignment");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status);
+  }
+  if (instance_dir.empty()) {
+    return Fail(util::Status::InvalidArgument("--instance is required"));
+  }
+  auto instance = core::LoadInstance(instance_dir);
+  if (!instance.ok()) return Fail(instance.status());
+
+  auto solver = core::MakeSolver(solver_name);
+  if (!solver.ok()) return Fail(solver.status());
+  core::SolverOptions options;
+  options.k = k;
+  options.seed = static_cast<uint64_t>(seed);
+  auto result = solver.value()->Solve(*instance, options);
+  if (!result.ok()) return Fail(result.status());
+  if (auto status =
+          core::ValidateAssignments(*instance, result->assignments);
+      !status.ok()) {
+    return Fail(status);
+  }
+
+  std::printf("solver=%s k=%zu utility=%.3f seconds=%.4f evaluations=%llu\n",
+              result->solver.c_str(), result->assignments.size(),
+              result->utility, result->wall_seconds,
+              static_cast<unsigned long long>(
+                  result->stats.gain_evaluations));
+  if (print_schedule) {
+    for (const core::Assignment& a : result->assignments) {
+      std::printf("  interval %u <- event %u\n", a.interval, a.event);
+    }
+  }
+  return 0;
+}
+
+int CmdInfo(int argc, const char* const* argv) {
+  std::string instance_dir;
+  std::string data_dir;
+  util::FlagSet flags("ses_cli info");
+  flags.AddString("instance", &instance_dir, "instance directory");
+  flags.AddString("data", &data_dir, "dataset directory");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status);
+  }
+  if (!data_dir.empty()) {
+    auto dataset = ebsn::EbsnDataset::Load(data_dir);
+    if (!dataset.ok()) return Fail(dataset.status());
+    std::printf("%s",
+                ebsn::ComputeDatasetStats(dataset.value()).ToString().c_str());
+    return 0;
+  }
+  if (!instance_dir.empty()) {
+    auto instance = core::LoadInstance(instance_dir);
+    if (!instance.ok()) return Fail(instance.status());
+    size_t competing_entries = 0;
+    for (core::CompetingIndex c = 0; c < instance->num_competing(); ++c) {
+      competing_entries += instance->CompetingUsers(c).size();
+    }
+    std::printf(
+        "|U|=%u |E|=%u |T|=%u |C|=%u theta=%.2f\n"
+        "candidate interest entries: %zu\n"
+        "competing interest entries: %zu\n",
+        instance->num_users(), instance->num_events(),
+        instance->num_intervals(), instance->num_competing(),
+        instance->theta(), instance->num_interest_entries(),
+        competing_entries);
+    return 0;
+  }
+  return Fail(
+      util::Status::InvalidArgument("pass --instance or --data"));
+}
+
+void PrintUsage() {
+  std::fputs(
+      "usage: ses_cli <command> [flags]\n"
+      "commands:\n"
+      "  generate-data   synthesize a Meetup-like EBSN dataset\n"
+      "  build-instance  build the paper workload from a dataset\n"
+      "  solve           run a solver on a stored instance\n"
+      "  info            describe a dataset or instance\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Shift argv so each subcommand parses only its own flags.
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  if (command == "generate-data") return CmdGenerateData(sub_argc, sub_argv);
+  if (command == "build-instance") return CmdBuildInstance(sub_argc, sub_argv);
+  if (command == "solve") return CmdSolve(sub_argc, sub_argv);
+  if (command == "info") return CmdInfo(sub_argc, sub_argv);
+  PrintUsage();
+  return 2;
+}
