@@ -12,7 +12,8 @@
 int main(int argc, char** argv) {
   using namespace ses;
   const bench::FigureArgs args =
-      bench::ParseFigureArgs("ablation_lazy_greedy", argc, argv);
+      bench::ParseFigureArgs("ablation_lazy_greedy", argc, argv,
+                             /*default_jobs=*/1);
   const bench::BenchScale scale = bench::MakeScale(args.scale);
 
   std::printf("Ablation — GRD vs lazy greedy (scale=%s)\n",
@@ -24,19 +25,17 @@ int main(int argc, char** argv) {
   std::printf("%8s %14s %14s %12s %12s %14s %14s\n", "k", "grd-utility",
               "lazy-utility", "grd-sec", "lazy-sec", "grd-evals",
               "lazy-evals");
-  for (int64_t k : scale.k_sweep) {
-    exp::PaperWorkloadConfig config;
-    config.k = k;
-    config.seed = static_cast<uint64_t>(args.seed + k);
-    auto instance = factory.Build(config);
-    SES_CHECK(instance.ok()) << instance.status().ToString();
-    core::SolverOptions options;
-    options.k = k;
-    options.seed = static_cast<uint64_t>(args.seed);
-    auto rows = exp::RunSolvers(*instance, {"grd", "lazy"}, options, k);
-    SES_CHECK(rows.ok()) << rows.status().ToString();
-    const exp::RunRecord& grd = (*rows)[0];
-    const exp::RunRecord& lazy = (*rows)[1];
+  // Same point construction and seeding as the fig1a/1b sweeps, so the
+  // numbers stay comparable across benches.
+  const std::vector<std::string> solvers{"grd", "lazy"};
+  const std::vector<exp::RunRecord> rows = bench::RunKSweep(
+      factory, scale, solvers, static_cast<uint64_t>(args.seed), args.jobs);
+  for (size_t i = 0; i < scale.k_sweep.size(); ++i) {
+    const int64_t k = scale.k_sweep[i];
+    // RunSolvers emits solvers.size() records per point, in solver-list
+    // order.
+    const exp::RunRecord& grd = rows[solvers.size() * i];
+    const exp::RunRecord& lazy = rows[solvers.size() * i + 1];
     std::printf("%8lld %14.2f %14.2f %12.4f %12.4f %14s %14s\n",
                 static_cast<long long>(k), grd.utility, lazy.utility,
                 grd.seconds, lazy.seconds,

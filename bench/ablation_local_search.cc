@@ -15,7 +15,12 @@
 int main(int argc, char** argv) {
   using namespace ses;
   const bench::FigureArgs args =
-      bench::ParseFigureArgs("ablation_local_search", argc, argv);
+      bench::ParseFigureArgs("ablation_local_search", argc, argv,
+                             /*default_jobs=*/1);
+  if (args.jobs != 1) {
+    SES_LOG(kWarning) << "--jobs has no effect here: this ablation runs "
+                      << "variants serially on a single instance";
+  }
   const bench::BenchScale scale = bench::MakeScale(args.scale);
 
   std::printf("Ablation — improvement heuristics (scale=%s, k=%lld)\n",

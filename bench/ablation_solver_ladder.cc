@@ -19,7 +19,8 @@
 int main(int argc, char** argv) {
   using namespace ses;
   const bench::FigureArgs args =
-      bench::ParseFigureArgs("ablation_solver_ladder", argc, argv);
+      bench::ParseFigureArgs("ablation_solver_ladder", argc, argv,
+                             /*default_jobs=*/1);
   const bench::BenchScale scale = bench::MakeScale(args.scale);
 
   std::printf("Ablation — solver ladder (scale=%s, k=%lld, 3 seeds)\n",
@@ -30,6 +31,12 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> ladder{"rand", "top", "bestfit", "grd",
                                         "lazy"};
+  if (args.jobs != 1) {
+    // This bench renders a seconds table, so contended timings matter.
+    SES_LOG(kWarning) << "--jobs=" << args.jobs << ": the seconds table "
+                      << "is measured under multi-core contention; use "
+                      << "--jobs=1 for clean timings";
+  }
   const int64_t default_k = scale.default_k;
   auto cells = exp::RunRepeatedSweep(
       factory, {default_k},
@@ -39,7 +46,8 @@ int main(int argc, char** argv) {
         config.seed = seed;
         return config;
       },
-      ladder, /*repetitions=*/3, static_cast<uint64_t>(args.seed));
+      ladder, /*repetitions=*/3, static_cast<uint64_t>(args.seed),
+      static_cast<size_t>(args.jobs));
   SES_CHECK(cells.ok()) << cells.status().ToString();
 
   std::fputs(exp::RenderSweepTable("Solver ladder: utility", "k", ladder,

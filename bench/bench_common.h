@@ -9,6 +9,8 @@
 ///   --scale=paper|medium|small   dataset + sweep size (default: medium)
 ///   --csv=PATH                   also dump the series as CSV
 ///   --seed=N                     workload seed
+///   --jobs=N                     sweep-point parallelism (0 = all cores,
+///                                1 = serial reference path)
 ///
 /// "paper" matches Section IV-A exactly (42,444 users, 16k-event catalog,
 /// k up to 500). "medium" keeps the paper's *structure* (|T| = 3k/2,
@@ -20,6 +22,7 @@
 
 #include "ebsn/generator.h"
 #include "exp/figures.h"
+#include "exp/parallel_sweep.h"
 #include "exp/runner.h"
 #include "exp/workload.h"
 #include "util/flags.h"
@@ -77,70 +80,98 @@ struct FigureArgs {
   std::string scale = "medium";
   std::string csv;
   int64_t seed = 7;
+  /// Sweep-point parallelism: 0 = hardware concurrency, 1 = serial.
+  int64_t jobs = 0;
 };
 
 /// Parses the common flags; exits the process with usage on error.
+///
+/// Benches whose headline metric is wall-clock time should pass
+/// \p default_jobs = 1: concurrent sweep points compete for cores and
+/// inflate every RunRecord's `seconds`, so such benches measure serially
+/// unless the user explicitly opts into --jobs != 1 (RunSweepPoints
+/// warns on every parallel run that timings are contended).
 inline FigureArgs ParseFigureArgs(const char* program, int argc,
-                                  const char* const* argv) {
+                                  const char* const* argv,
+                                  int64_t default_jobs = 0) {
   FigureArgs args;
+  args.jobs = default_jobs;
   util::FlagSet flags(program);
   flags.AddString("scale", &args.scale, "paper|medium|small");
   flags.AddString("csv", &args.csv, "optional CSV output path");
   flags.AddInt("seed", &args.seed, "workload seed");
+  flags.AddInt("jobs", &args.jobs,
+               "worker threads (0 = all cores, 1 = serial)");
   auto status = flags.Parse(argc, argv);
-  if (!status.ok()) {
-    SES_LOG(kError) << status.ToString();
+  if (!status.ok() || args.jobs < 0) {
+    SES_LOG(kError) << (status.ok() ? "--jobs must be >= 0"
+                                    : status.ToString());
     std::fputs(flags.Usage().c_str(), stderr);
     std::exit(2);
   }
   return args;
 }
 
+/// Runs \p points on \p jobs workers (0 = all cores, 1 = serial) and
+/// fails loudly on any error. Both paths yield identical records (modulo
+/// the wall-clock `seconds` field) in point order.
+inline std::vector<exp::RunRecord> RunSweepPoints(
+    const exp::WorkloadFactory& factory,
+    const std::vector<exp::SweepPoint>& points,
+    const std::vector<std::string>& solvers, int64_t jobs) {
+  if (jobs != 1) {
+    // The utility/evaluation fields stay byte-identical, but concurrent
+    // points contend for cores, so any reported or CSV-dumped seconds
+    // are inflated relative to a serial run.
+    SES_LOG(kWarning) << "--jobs=" << jobs << ": per-record seconds are "
+                      << "measured under multi-core contention; use "
+                      << "--jobs=1 for clean timings";
+  }
+  auto records =
+      exp::RunSweep(factory, points, solvers, static_cast<size_t>(jobs));
+  SES_CHECK(records.ok()) << records.status().ToString();
+  return std::move(records).value();
+}
+
 /// Runs the paper methods over a k sweep (Figs. 1a/1b).
 inline std::vector<exp::RunRecord> RunKSweep(
     const exp::WorkloadFactory& factory, const BenchScale& scale,
-    const std::vector<std::string>& solvers, uint64_t seed) {
-  std::vector<exp::RunRecord> records;
+    const std::vector<std::string>& solvers, uint64_t seed,
+    int64_t jobs) {
+  std::vector<exp::SweepPoint> points;
+  points.reserve(scale.k_sweep.size());
   for (int64_t k : scale.k_sweep) {
-    exp::PaperWorkloadConfig config;
-    config.k = k;
-    config.seed = seed + static_cast<uint64_t>(k);
-    auto instance = factory.Build(config);
-    SES_CHECK(instance.ok()) << instance.status().ToString();
-    core::SolverOptions options;
-    options.k = k;
-    options.seed = seed;
-    auto rows = exp::RunSolvers(*instance, solvers, options, k);
-    SES_CHECK(rows.ok()) << rows.status().ToString();
-    records.insert(records.end(), rows->begin(), rows->end());
-    SES_LOG(kInfo) << "k=" << k << " done";
+    exp::SweepPoint point;
+    point.config.k = k;
+    point.config.seed = seed + static_cast<uint64_t>(k);
+    point.options.k = k;
+    point.options.seed = seed;
+    point.x = k;
+    points.push_back(std::move(point));
   }
-  return records;
+  return RunSweepPoints(factory, points, solvers, jobs);
 }
 
 /// Runs the paper methods over a |T| sweep at fixed k (Figs. 1c/1d).
 inline std::vector<exp::RunRecord> RunTSweep(
     const exp::WorkloadFactory& factory, const BenchScale& scale,
-    const std::vector<std::string>& solvers, uint64_t seed) {
-  std::vector<exp::RunRecord> records;
+    const std::vector<std::string>& solvers, uint64_t seed,
+    int64_t jobs) {
+  std::vector<exp::SweepPoint> points;
+  points.reserve(scale.t_over_k_tenths.size());
   for (int64_t tenths : scale.t_over_k_tenths) {
     const int64_t intervals =
         std::max<int64_t>(1, scale.default_k * tenths / 10);
-    exp::PaperWorkloadConfig config;
-    config.k = scale.default_k;
-    config.num_intervals = intervals;
-    config.seed = seed + static_cast<uint64_t>(intervals);
-    auto instance = factory.Build(config);
-    SES_CHECK(instance.ok()) << instance.status().ToString();
-    core::SolverOptions options;
-    options.k = scale.default_k;
-    options.seed = seed;
-    auto rows = exp::RunSolvers(*instance, solvers, options, intervals);
-    SES_CHECK(rows.ok()) << rows.status().ToString();
-    records.insert(records.end(), rows->begin(), rows->end());
-    SES_LOG(kInfo) << "|T|=" << intervals << " done";
+    exp::SweepPoint point;
+    point.config.k = scale.default_k;
+    point.config.num_intervals = intervals;
+    point.config.seed = seed + static_cast<uint64_t>(intervals);
+    point.options.k = scale.default_k;
+    point.options.seed = seed;
+    point.x = intervals;
+    points.push_back(std::move(point));
   }
-  return records;
+  return RunSweepPoints(factory, points, solvers, jobs);
 }
 
 /// Writes the optional CSV and prints the rendered figure.

@@ -12,7 +12,8 @@
 int main(int argc, char** argv) {
   using namespace ses;
   const bench::FigureArgs args =
-      bench::ParseFigureArgs("fig1b_time_vs_k", argc, argv);
+      bench::ParseFigureArgs("fig1b_time_vs_k", argc, argv,
+                             /*default_jobs=*/1);
   const bench::BenchScale scale = bench::MakeScale(args.scale);
 
   std::printf("Fig 1b — Time vs k (scale=%s, %u users)\n",
@@ -23,7 +24,8 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> solvers{"grd", "top", "rand"};
   const auto records = bench::RunKSweep(factory, scale, solvers,
-                                        static_cast<uint64_t>(args.seed));
+                                        static_cast<uint64_t>(args.seed),
+                                        args.jobs);
   bench::EmitFigure(args, "Fig 1b: Time (seconds) vs k", "k", solvers,
                     records, exp::Metric::kSeconds);
   return 0;

@@ -13,7 +13,8 @@
 int main(int argc, char** argv) {
   using namespace ses;
   const bench::FigureArgs args =
-      bench::ParseFigureArgs("fig1d_time_vs_t", argc, argv);
+      bench::ParseFigureArgs("fig1d_time_vs_t", argc, argv,
+                             /*default_jobs=*/1);
   const bench::BenchScale scale = bench::MakeScale(args.scale);
 
   std::printf("Fig 1d — Time vs |T| (scale=%s, k=%lld)\n",
@@ -25,7 +26,8 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> solvers{"grd", "top", "rand"};
   const auto records = bench::RunTSweep(factory, scale, solvers,
-                                        static_cast<uint64_t>(args.seed));
+                                        static_cast<uint64_t>(args.seed),
+                                        args.jobs);
   bench::EmitFigure(args, "Fig 1d: Time (seconds) vs |T|", "|T|", solvers,
                     records, exp::Metric::kSeconds);
   return 0;

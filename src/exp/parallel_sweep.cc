@@ -1,0 +1,93 @@
+#include "exp/parallel_sweep.h"
+
+#include <atomic>
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ses::exp {
+
+util::Result<std::vector<RunRecord>> ParallelSweepRunner::Run(
+    const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
+    const std::vector<std::string>& solvers) {
+  // One result slot per point keeps output order independent of
+  // completion order.
+  std::vector<std::optional<util::Result<std::vector<RunRecord>>>> slots(
+      points.size());
+  // First failure cancels points that have not started yet. The
+  // pre-task check races with other workers' stores, so a skipped slot
+  // is not guaranteed a lower-index failed predecessor — the scan below
+  // therefore returns the lowest-index *recorded* error, which under
+  // cancellation may differ from the serial path's first failure.
+  std::atomic<bool> failed{false};
+  // One task per point (rather than ParallelFor's contiguous shards):
+  // sweep points have very uneven cost — k=500 dwarfs k=100 — and FIFO
+  // task pickup balances that across workers.
+  for (size_t i = 0; i < points.size(); ++i) {
+    pool_.Submit([this, &factory, &points, &solvers, &slots, &failed, i] {
+      if (failed.load(std::memory_order_relaxed)) return;  // cancelled
+      const SweepPoint& point = points[i];
+      util::Result<core::SesInstance> instance = [&] {
+        std::lock_guard<std::mutex> lock(build_mutex_);
+        return factory.Build(point.config);
+      }();
+      if (!instance.ok()) {
+        slots[i] = instance.status();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      auto rows = RunSolvers(*instance, solvers, point.options, point.x);
+      if (!rows.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+      } else {
+        SES_LOG(kInfo) << "sweep x=" << point.x << " done";
+      }
+      slots[i] = std::move(rows);
+    });
+  }
+  pool_.Wait();
+
+  std::vector<RunRecord> records;
+  records.reserve(points.size() * solvers.size());
+  for (auto& slot : slots) {
+    // Empty slots were cancelled by some recorded failure.
+    if (!slot.has_value()) continue;
+    if (!slot->ok()) return slot->status();
+    records.insert(records.end(),
+                   std::make_move_iterator(slot->value().begin()),
+                   std::make_move_iterator(slot->value().end()));
+  }
+  if (records.size() != points.size() * solvers.size()) {
+    return util::Status::Internal(
+        "sweep point cancelled without a recorded error");
+  }
+  return records;
+}
+
+util::Result<std::vector<RunRecord>> RunSweep(
+    const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
+    const std::vector<std::string>& solvers, size_t num_threads) {
+  if (num_threads == 1) return RunSweepSerial(factory, points, solvers);
+  ParallelSweepRunner runner(num_threads);
+  return runner.Run(factory, points, solvers);
+}
+
+util::Result<std::vector<RunRecord>> RunSweepSerial(
+    const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
+    const std::vector<std::string>& solvers) {
+  std::vector<RunRecord> records;
+  records.reserve(points.size() * solvers.size());
+  for (const SweepPoint& point : points) {
+    auto instance = factory.Build(point.config);
+    if (!instance.ok()) return instance.status();
+    auto rows = RunSolvers(*instance, solvers, point.options, point.x);
+    if (!rows.ok()) return rows.status();
+    records.insert(records.end(), std::make_move_iterator(rows->begin()),
+                   std::make_move_iterator(rows->end()));
+    SES_LOG(kInfo) << "sweep x=" << point.x << " done";
+  }
+  return records;
+}
+
+}  // namespace ses::exp

@@ -1,0 +1,88 @@
+#ifndef SES_EXP_PARALLEL_SWEEP_H_
+#define SES_EXP_PARALLEL_SWEEP_H_
+
+/// \file
+/// Multi-core sweep execution: fans independent RunSolvers calls across
+/// sweep points on a util::ThreadPool.
+///
+/// Determinism contract: for a fixed point list, Run() returns exactly
+/// the records a serial loop over RunSolvers would produce, in the same
+/// order, regardless of worker count. Every field of every RunRecord is
+/// reproducible except `seconds`, which is a wall-clock measurement.
+/// Each point carries its own workload seed and solver seed, so no state
+/// leaks between points; instance construction goes through the (not
+/// thread-safe) WorkloadFactory under a mutex, while the solver runs —
+/// the dominant cost — proceed concurrently.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "exp/runner.h"
+#include "exp/workload.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ses::exp {
+
+/// One independent unit of sweep work: a workload to build and the solver
+/// options to run on it, tagged with the sweep coordinate \p x.
+struct SweepPoint {
+  PaperWorkloadConfig config;
+  core::SolverOptions options;
+  int64_t x = 0;
+};
+
+/// Runs sweep points concurrently on a fixed-size thread pool.
+///
+/// The pool is owned by the runner and reused across Run() calls, so one
+/// runner can serve several sweeps (e.g. a k sweep then a |T| sweep)
+/// without re-spawning workers.
+class ParallelSweepRunner {
+ public:
+  /// \param num_threads worker count; 0 means hardware_concurrency().
+  explicit ParallelSweepRunner(size_t num_threads = 0)
+      : pool_(num_threads) {}
+
+  /// Builds each point's instance via \p factory and runs \p solvers on
+  /// it, concatenating per-point records in point order (within a point,
+  /// records follow \p solvers order). On error, returns the
+  /// lowest-index recorded failure; a failure also cancels queued
+  /// points, and which of several doomed points records its error first
+  /// can depend on timing, so treat the returned status as diagnostic
+  /// rather than byte-deterministic (the success path stays
+  /// reproducible).
+  util::Result<std::vector<RunRecord>> Run(
+      const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
+      const std::vector<std::string>& solvers);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  util::ThreadPool pool_;
+  // WorkloadFactory::Build is not thread-safe (shared interest-model
+  // scratch); builds are serialized, solver runs are not.
+  std::mutex build_mutex_;
+};
+
+/// Reference serial implementation of ParallelSweepRunner::Run — a plain
+/// loop over RunSolvers. Used by benches on request (--jobs=1 avoids
+/// spawning a pool) and by tests as the determinism oracle.
+util::Result<std::vector<RunRecord>> RunSweepSerial(
+    const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
+    const std::vector<std::string>& solvers);
+
+/// Single dispatch point for the serial/parallel choice: \p num_threads
+/// == 1 runs RunSweepSerial (no pool spawned), anything else runs a
+/// ParallelSweepRunner with that many workers (0 = hardware
+/// concurrency). Both paths return identical records (modulo the
+/// wall-clock `seconds` field) in point order.
+util::Result<std::vector<RunRecord>> RunSweep(
+    const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
+    const std::vector<std::string>& solvers, size_t num_threads);
+
+}  // namespace ses::exp
+
+#endif  // SES_EXP_PARALLEL_SWEEP_H_

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "exp/parallel_sweep.h"
 #include "exp/runner.h"
 #include "util/string_util.h"
 
@@ -11,33 +12,40 @@ util::Result<std::vector<SweepCell>> RunRepeatedSweep(
     const WorkloadFactory& factory, const std::vector<int64_t>& xs,
     const ConfigFactory& make_config,
     const std::vector<std::string>& solvers, int repetitions,
-    uint64_t base_seed) {
+    uint64_t base_seed, size_t num_threads) {
   if (repetitions <= 0) {
     return util::Status::InvalidArgument("repetitions must be positive");
   }
-  // (x, solver) -> samples
-  std::map<std::pair<int64_t, std::string>,
-           std::pair<std::vector<double>, std::vector<double>>>
-      samples;
+  // Each (x, rep) cell is one independent sweep point; the per-cell seed
+  // depends only on (x, rep), never on execution order.
+  std::vector<SweepPoint> points;
+  points.reserve(xs.size() * static_cast<size_t>(repetitions));
   for (int64_t x : xs) {
     for (int rep = 0; rep < repetitions; ++rep) {
       const uint64_t seed =
           base_seed + static_cast<uint64_t>(rep) * 1000003ULL +
           static_cast<uint64_t>(x);
-      const PaperWorkloadConfig config = make_config(x, seed);
-      auto instance = factory.Build(config);
-      if (!instance.ok()) return instance.status();
-      core::SolverOptions options;
-      options.k = config.k;
-      options.seed = seed;
-      auto records = RunSolvers(*instance, solvers, options, x);
-      if (!records.ok()) return records.status();
-      for (const RunRecord& record : *records) {
-        auto& cell = samples[{x, record.solver}];
-        cell.first.push_back(record.utility);
-        cell.second.push_back(record.seconds);
-      }
+      SweepPoint point;
+      point.config = make_config(x, seed);
+      point.options.k = point.config.k;
+      point.options.seed = seed;
+      point.x = x;
+      points.push_back(std::move(point));
     }
+  }
+
+  auto records = RunSweep(factory, points, solvers, num_threads);
+  if (!records.ok()) return records.status();
+
+  // Records arrive in point order, so samples accumulate exactly as the
+  // old serial loop pushed them.
+  std::map<std::pair<int64_t, std::string>,
+           std::pair<std::vector<double>, std::vector<double>>>
+      samples;
+  for (const RunRecord& record : *records) {
+    auto& cell = samples[{record.x, record.solver}];
+    cell.first.push_back(record.utility);
+    cell.second.push_back(record.seconds);
   }
 
   std::vector<SweepCell> cells;

@@ -32,12 +32,17 @@ using ConfigFactory =
 /// Runs \p solvers on every x in \p xs, \p repetitions times each with
 /// distinct seeds, and aggregates per (x, solver).
 ///
-/// The solver's k is taken from the generated config's k.
+/// The solver's k is taken from the generated config's k. The (x, rep)
+/// cells run concurrently on a ParallelSweepRunner with \p num_threads
+/// workers (0 = hardware concurrency; the default of 1 keeps existing
+/// callers serial so parallelism — which perturbs the `seconds`
+/// aggregates under CPU contention — stays opt-in). Per-cell seeding
+/// makes the utility aggregates identical for every worker count.
 util::Result<std::vector<SweepCell>> RunRepeatedSweep(
     const WorkloadFactory& factory, const std::vector<int64_t>& xs,
     const ConfigFactory& make_config,
     const std::vector<std::string>& solvers, int repetitions,
-    uint64_t base_seed);
+    uint64_t base_seed, size_t num_threads = 1);
 
 /// Renders cells as "mean +- sd" per column, rows keyed by x.
 std::string RenderSweepTable(const std::string& title,

@@ -1,30 +1,37 @@
 #include "util/flags.h"
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace ses::util {
 
+void FlagSet::Register(Flag flag) {
+  // A second Add* with the same name would be dead code: Parse() assigns
+  // through the first match. Registration is programmer-controlled, so a
+  // duplicate is a programming error worth failing loudly for.
+  SES_CHECK(Find(flag.name) == nullptr)
+      << "duplicate flag --" << flag.name << " registered";
+  flags_.push_back(std::move(flag));
+}
+
 void FlagSet::AddInt(const std::string& name, int64_t* target,
                      const std::string& help) {
-  flags_.push_back(
-      {name, Type::kInt, target, help, std::to_string(*target)});
+  Register({name, Type::kInt, target, help, std::to_string(*target)});
 }
 
 void FlagSet::AddDouble(const std::string& name, double* target,
                         const std::string& help) {
-  flags_.push_back(
-      {name, Type::kDouble, target, help, StrFormat("%g", *target)});
+  Register({name, Type::kDouble, target, help, StrFormat("%g", *target)});
 }
 
 void FlagSet::AddString(const std::string& name, std::string* target,
                         const std::string& help) {
-  flags_.push_back({name, Type::kString, target, help, *target});
+  Register({name, Type::kString, target, help, *target});
 }
 
 void FlagSet::AddBool(const std::string& name, bool* target,
                       const std::string& help) {
-  flags_.push_back(
-      {name, Type::kBool, target, help, *target ? "true" : "false"});
+  Register({name, Type::kBool, target, help, *target ? "true" : "false"});
 }
 
 FlagSet::Flag* FlagSet::Find(const std::string& name) {

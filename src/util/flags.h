@@ -21,6 +21,10 @@
 namespace ses::util {
 
 /// A set of named command-line flags bound to caller-owned storage.
+///
+/// Flag names must be unique within a set; registering the same name
+/// twice aborts (SES_CHECK) — the second registration would otherwise be
+/// silently unreachable.
 class FlagSet {
  public:
   /// \param program name shown in Usage().
@@ -64,6 +68,8 @@ class FlagSet {
     std::string default_value;
   };
 
+  /// Appends \p flag; aborts on a duplicate name (programming error).
+  void Register(Flag flag);
   Flag* Find(const std::string& name);
   Status Assign(Flag& flag, const std::string& value);
 

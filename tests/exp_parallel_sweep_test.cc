@@ -1,0 +1,150 @@
+#include "exp/parallel_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "ebsn/generator.h"
+#include "exp/sweep.h"
+
+namespace ses::exp {
+namespace {
+
+const ebsn::EbsnDataset& SweepDataset() {
+  static const ebsn::EbsnDataset* dataset = [] {
+    ebsn::SyntheticMeetupConfig config;
+    config.num_users = 600;
+    config.num_events = 300;
+    config.num_groups = 40;
+    config.num_tags = 60;
+    config.seed = 31;
+    return new ebsn::EbsnDataset(ebsn::GenerateSyntheticMeetup(config));
+  }();
+  return *dataset;
+}
+
+std::vector<SweepPoint> MakePoints(const std::vector<int64_t>& ks) {
+  std::vector<SweepPoint> points;
+  for (int64_t k : ks) {
+    SweepPoint point;
+    point.config.k = k;
+    point.config.competing_mean = 2.0;
+    point.config.competing_spread = 1.0;
+    point.config.seed = 100 + static_cast<uint64_t>(k);
+    point.options.k = k;
+    point.options.seed = 7;
+    point.x = k;
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+/// Everything but the wall-clock `seconds` measurement must match
+/// bitwise between the serial and parallel paths.
+void ExpectSameRecords(const std::vector<RunRecord>& serial,
+                       const std::vector<RunRecord>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial[i].solver, parallel[i].solver);
+    EXPECT_EQ(serial[i].x, parallel[i].x);
+    EXPECT_EQ(serial[i].utility, parallel[i].utility);
+    EXPECT_EQ(serial[i].gain_evaluations, parallel[i].gain_evaluations);
+    EXPECT_EQ(serial[i].assignments, parallel[i].assignments);
+  }
+}
+
+TEST(ParallelSweepTest, MatchesSerialPathMultiSolver) {
+  WorkloadFactory factory(SweepDataset());
+  const std::vector<std::string> solvers{"grd", "top", "rand", "bestfit"};
+  const auto points = MakePoints({4, 6, 8, 10, 12, 14});
+
+  auto serial = RunSweepSerial(factory, points, solvers);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial->size(), points.size() * solvers.size());
+
+  ParallelSweepRunner runner(4);
+  auto parallel = runner.Run(factory, points, solvers);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectSameRecords(*serial, *parallel);
+}
+
+TEST(ParallelSweepTest, RepeatedParallelRunsAreStable) {
+  WorkloadFactory factory(SweepDataset());
+  const std::vector<std::string> solvers{"grd", "rand"};
+  const auto points = MakePoints({5, 9, 13});
+
+  ParallelSweepRunner runner(3);
+  auto first = runner.Run(factory, points, solvers);
+  ASSERT_TRUE(first.ok());
+  // Same runner, same points: the pool must be reusable and the records
+  // reproducible run over run.
+  auto second = runner.Run(factory, points, solvers);
+  ASSERT_TRUE(second.ok());
+  ExpectSameRecords(*first, *second);
+}
+
+TEST(ParallelSweepTest, MorePointsThanWorkers) {
+  WorkloadFactory factory(SweepDataset());
+  const std::vector<std::string> solvers{"rand"};
+  std::vector<int64_t> ks;
+  for (int64_t k = 2; k < 34; ++k) ks.push_back(k);
+  const auto points = MakePoints(ks);
+
+  ParallelSweepRunner runner(2);
+  auto parallel = runner.Run(factory, points, solvers);
+  ASSERT_TRUE(parallel.ok());
+  auto serial = RunSweepSerial(factory, points, solvers);
+  ASSERT_TRUE(serial.ok());
+  ExpectSameRecords(*serial, *parallel);
+}
+
+TEST(ParallelSweepTest, ErrorPropagatesDeterministically) {
+  WorkloadFactory factory(SweepDataset());
+  auto points = MakePoints({4, 6});
+  ParallelSweepRunner runner(2);
+  auto result = runner.Run(factory, points, {"grd", "bogus"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(ParallelSweepTest, SingleWorkerPoolWorks) {
+  WorkloadFactory factory(SweepDataset());
+  const auto points = MakePoints({4, 8});
+  ParallelSweepRunner runner(1);
+  auto result = runner.Run(factory, points, {"grd"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(ParallelSweepTest, RepeatedSweepAggregatesMatchSerial) {
+  WorkloadFactory factory(SweepDataset());
+  auto make_config = [](int64_t x, uint64_t seed) {
+    PaperWorkloadConfig config;
+    config.k = x;
+    config.competing_mean = 2.0;
+    config.competing_spread = 1.0;
+    config.seed = seed;
+    return config;
+  };
+  auto serial = RunRepeatedSweep(factory, {5, 10}, make_config,
+                                 {"grd", "rand"}, 3, 17,
+                                 /*num_threads=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto parallel = RunRepeatedSweep(factory, {5, 10}, make_config,
+                                   {"grd", "rand"}, 3, 17,
+                                   /*num_threads=*/4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial->size(), parallel->size());
+  for (size_t i = 0; i < serial->size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ((*serial)[i].x, (*parallel)[i].x);
+    EXPECT_EQ((*serial)[i].solver, (*parallel)[i].solver);
+    // Utility aggregates accumulate in the same order on both paths, so
+    // the floating-point results are bitwise identical.
+    EXPECT_EQ((*serial)[i].utility.mean, (*parallel)[i].utility.mean);
+    EXPECT_EQ((*serial)[i].utility.stddev, (*parallel)[i].utility.stddev);
+    EXPECT_EQ((*serial)[i].utility.count, (*parallel)[i].utility.count);
+  }
+}
+
+}  // namespace
+}  // namespace ses::exp

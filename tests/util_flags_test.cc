@@ -91,6 +91,22 @@ TEST(FlagsTest, BadTypeFails) {
   EXPECT_FALSE(flags.Parse(2, argv).ok());
 }
 
+TEST(FlagsDeathTest, DuplicateRegistrationAborts) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  int64_t other = 0;
+  EXPECT_DEATH(flags.AddInt("k", &other, "shadows the first k"),
+               "duplicate flag --k");
+}
+
+TEST(FlagsDeathTest, DuplicateAcrossTypesAborts) {
+  Bound bound;
+  FlagSet flags = MakeFlags(bound);
+  std::string other;
+  EXPECT_DEATH(flags.AddString("verbose", &other, "was a bool"),
+               "duplicate flag --verbose");
+}
+
 TEST(FlagsTest, UsageMentionsFlagsAndDefaults) {
   Bound bound;
   FlagSet flags = MakeFlags(bound);

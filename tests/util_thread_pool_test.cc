@@ -52,6 +52,32 @@ TEST(ThreadPoolTest, DefaultThreadCountPositive) {
   EXPECT_GE(pool.num_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, StressManyMoreTasksThanWorkers) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 10000;
+  std::atomic<int64_t> sum{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.Wait();
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(kTasks) * (kTasks - 1) / 2);
+
+  // The pool must be reusable after a full drain.
+  std::atomic<int> second_wave{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&second_wave] { second_wave.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(second_wave.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForManyMoreItemsThanWorkers) {
+  ThreadPool pool(2);
+  std::vector<int> hits(20000, 0);
+  pool.ParallelFor(0, hits.size(), [&hits](size_t i) { hits[i] += 1; });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
 TEST(ThreadPoolTest, TasksCanSubmitMoreWork) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
