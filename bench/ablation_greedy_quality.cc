@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <map>
 
-#include "core/registry.h"
+#include "api/scheduler.h"
 #include "tests/test_util.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
       static_cast<long long>(intervals), static_cast<long long>(k));
 
   const std::vector<std::string> methods{"grd", "bestfit", "top", "rand"};
+  api::Scheduler scheduler;
   std::map<std::string, std::vector<double>> ratios;
   int solved = 0;
   for (int64_t i = 0; i < instances; ++i) {
@@ -54,21 +55,30 @@ int main(int argc, char** argv) {
     config.num_intervals = static_cast<uint32_t>(intervals);
     const core::SesInstance instance = test::MakeRandomInstance(config);
 
-    core::SolverOptions options;
-    options.k = k;
-    options.seed = static_cast<uint64_t>(seed + i);
-    auto exact = core::MakeSolver("exact");
-    SES_CHECK(exact.ok());
-    auto optimum = exact.value()->Solve(instance, options);
-    if (!optimum.ok() || optimum->utility <= 0.0) continue;  // infeasible k
+    api::SolveRequest exact_request;
+    exact_request.solver = "exact";
+    exact_request.options.k = k;
+    exact_request.options.seed = static_cast<uint64_t>(seed + i);
+    const api::SolveResponse optimum = scheduler.Solve(instance, exact_request);
+    if (!optimum.status.ok() || optimum.utility <= 0.0) {
+      continue;  // infeasible k
+    }
     ++solved;
 
+    // The heuristics are independent given the certified optimum — fan
+    // them out as one batch across the scheduler pool.
+    std::vector<api::SolveRequest> requests;
     for (const std::string& method : methods) {
-      auto solver = core::MakeSolver(method);
-      SES_CHECK(solver.ok());
-      auto result = solver.value()->Solve(instance, options);
-      SES_CHECK(result.ok()) << result.status().ToString();
-      ratios[method].push_back(result->utility / optimum->utility);
+      api::SolveRequest request = exact_request;
+      request.solver = method;
+      requests.push_back(std::move(request));
+    }
+    const std::vector<api::SolveResponse> responses =
+        scheduler.SolveBatch(instance, requests);
+    for (size_t m = 0; m < methods.size(); ++m) {
+      SES_CHECK(responses[m].status.ok())
+          << responses[m].status.ToString();
+      ratios[methods[m]].push_back(responses[m].utility / optimum.utility);
     }
   }
 

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     const exp::RunRecord& lazy = rows[solvers.size() * i + 1];
     std::printf("%8lld %14.2f %14.2f %12.4f %12.4f %14s %14s\n",
                 static_cast<long long>(k), grd.utility, lazy.utility,
-                grd.seconds, lazy.seconds,
+                grd.measurement.seconds, lazy.measurement.seconds,
                 util::WithThousandsSep(
                     static_cast<int64_t>(grd.gain_evaluations))
                     .c_str(),

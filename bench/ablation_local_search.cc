@@ -8,8 +8,8 @@
 
 #include <cstdio>
 
+#include "api/scheduler.h"
 #include "bench/bench_common.h"
-#include "core/registry.h"
 #include "core/validate.h"
 
 int main(int argc, char** argv) {
@@ -48,23 +48,25 @@ int main(int argc, char** argv) {
       {"grd+ls", "ls", core::BaseSolver::kGreedy},
   };
 
+  // The variants share one scheduler; each runs synchronously so the
+  // seconds column stays uncontended.
+  api::Scheduler scheduler(api::SchedulerOptions{.num_threads = 1});
   std::printf("%14s %14s %12s %14s\n", "variant", "utility", "seconds",
               "moves-accepted");
   for (const Variant& variant : variants) {
-    auto solver = core::MakeSolver(variant.solver);
-    SES_CHECK(solver.ok());
-    core::SolverOptions options;
-    options.k = scale.default_k;
-    options.seed = static_cast<uint64_t>(args.seed);
-    options.base_solver = variant.base;
-    options.max_iterations = 20000;
-    auto result = solver.value()->Solve(*instance, options);
-    SES_CHECK(result.ok()) << result.status().ToString();
-    SES_CHECK(core::ValidateAssignments(*instance, result->assignments).ok());
+    api::SolveRequest request;
+    request.solver = variant.solver;
+    request.options.k = scale.default_k;
+    request.options.seed = static_cast<uint64_t>(args.seed);
+    request.options.base_solver = variant.base;
+    request.options.max_iterations = 20000;
+    const api::SolveResponse response = scheduler.Solve(*instance, request);
+    SES_CHECK(response.status.ok()) << response.status.ToString();
+    SES_CHECK(core::ValidateAssignments(*instance, response.schedule).ok());
     std::printf("%14s %14.2f %12.4f %14llu\n", variant.label,
-                result->utility, result->wall_seconds,
+                response.utility, response.wall_seconds,
                 static_cast<unsigned long long>(
-                    result->stats.moves_accepted));
+                    response.stats.moves_accepted));
   }
   return 0;
 }

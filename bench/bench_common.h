@@ -8,6 +8,9 @@
 /// Every figure binary accepts:
 ///   --scale=paper|medium|small   dataset + sweep size (default: medium)
 ///   --csv=PATH                   also dump the series as CSV
+///   --csv-timing=BOOL            include the wall-clock seconds column
+///                                in --csv output (default true; false
+///                                makes reruns byte-identical)
 ///   --seed=N                     workload seed
 ///   --jobs=N                     sweep-point parallelism (0 = all cores,
 ///                                1 = serial reference path)
@@ -79,6 +82,8 @@ inline BenchScale MakeScale(const std::string& name) {
 struct FigureArgs {
   std::string scale = "medium";
   std::string csv;
+  /// Append the non-deterministic seconds column to --csv output.
+  bool csv_timing = true;
   int64_t seed = 7;
   /// Sweep-point parallelism: 0 = hardware concurrency, 1 = serial.
   int64_t jobs = 0;
@@ -99,6 +104,8 @@ inline FigureArgs ParseFigureArgs(const char* program, int argc,
   util::FlagSet flags(program);
   flags.AddString("scale", &args.scale, "paper|medium|small");
   flags.AddString("csv", &args.csv, "optional CSV output path");
+  flags.AddBool("csv-timing", &args.csv_timing,
+                "include the wall-clock seconds column in --csv output");
   flags.AddInt("seed", &args.seed, "workload seed");
   flags.AddInt("jobs", &args.jobs,
                "worker threads (0 = all cores, 1 = serial)");
@@ -121,8 +128,11 @@ inline std::vector<exp::RunRecord> RunSweepPoints(
     const std::vector<std::string>& solvers, int64_t jobs) {
   if (jobs != 1) {
     // The utility/evaluation fields stay byte-identical, but concurrent
-    // points contend for cores, so any reported or CSV-dumped seconds
-    // are inflated relative to a serial run.
+    // points (and, on this path, the solvers within each point, which
+    // fan out across the shared api::Scheduler pool) contend for cores,
+    // so any reported or CSV-dumped seconds are inflated relative to a
+    // serial run. --jobs=1 runs everything sequentially on the calling
+    // thread.
     SES_LOG(kWarning) << "--jobs=" << jobs << ": per-record seconds are "
                       << "measured under multi-core contention; use "
                       << "--jobs=1 for clean timings";
@@ -181,7 +191,10 @@ inline void EmitFigure(const FigureArgs& args, const std::string& title,
                        const std::vector<exp::RunRecord>& records,
                        exp::Metric metric) {
   if (!args.csv.empty()) {
-    auto status = exp::WriteRecordsCsv(args.csv, records);
+    auto status = exp::WriteRecordsCsv(args.csv, records,
+                                       args.csv_timing
+                                           ? exp::CsvTiming::kAppend
+                                           : exp::CsvTiming::kOmit);
     if (!status.ok()) {
       SES_LOG(kError) << status.ToString();
     }

@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "core/registry.h"
+#include "api/scheduler.h"
 #include "core/validate.h"
 #include "ebsn/activity.h"
 #include "ebsn/generator.h"
@@ -106,26 +106,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Compare the paper's three methods on the festival program.
+  // Compare the paper's three methods on the festival program: one
+  // batch, fanned across the scheduler's pool, responses in request
+  // order.
+  api::Scheduler scheduler;
+  std::vector<api::SolveRequest> requests;
+  for (const char* name : {"grd", "top", "rand"}) {
+    api::SolveRequest request;
+    request.solver = name;
+    request.options.k = k;
+    request.options.seed = static_cast<uint64_t>(seed);
+    requests.push_back(std::move(request));
+  }
+  const std::vector<api::SolveResponse> responses =
+      scheduler.SolveBatch(*instance, requests);
+
   std::printf("\n%8s %16s %10s\n", "method", "expected-fans", "seconds");
   std::vector<core::Assignment> best_program;
-  for (const char* name : {"grd", "top", "rand"}) {
-    auto solver = core::MakeSolver(name);
-    SES_CHECK(solver.ok());
-    core::SolverOptions options;
-    options.k = k;
-    options.seed = static_cast<uint64_t>(seed);
-    auto result = solver.value()->Solve(*instance, options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s: %s\n", name,
-                   result.status().ToString().c_str());
+  for (const api::SolveResponse& response : responses) {
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", response.solver.c_str(),
+                   response.status.ToString().c_str());
       return 1;
     }
     SES_CHECK(
-        core::ValidateAssignments(*instance, result->assignments).ok());
-    std::printf("%8s %16.1f %10.3f\n", name, result->utility,
-                result->wall_seconds);
-    if (std::string(name) == "grd") best_program = result->assignments;
+        core::ValidateAssignments(*instance, response.schedule).ok());
+    std::printf("%8s %16.1f %10.3f\n", response.solver.c_str(),
+                response.utility, response.wall_seconds);
+    if (response.solver == "grd") best_program = response.schedule;
   }
 
   // Print the GRD program grouped by day.

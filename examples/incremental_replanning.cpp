@@ -1,19 +1,17 @@
 /// Incremental re-planning: a season planner that commits events in
 /// waves. Wave 1 was booked hastily (random placements — deadlines!).
 /// When the budget grows, the planner extends the committed program to
-/// the full size with GRD via SolverOptions::warm_start, never moving
-/// anything already announced. Comparing against (a) a from-scratch GRD
-/// plan and (b) a careful GRD wave 1 shows the price of early sloppy
-/// commitment — and that extending a *greedy* wave 1 is free, because
-/// GRD's selection sequence is prefix-consistent.
+/// the full size with GRD via SolveRequest's warm_start options, never
+/// moving anything already announced. Comparing against (a) a
+/// from-scratch GRD plan and (b) a careful GRD wave 1 shows the price of
+/// early sloppy commitment — and that extending a *greedy* wave 1 is
+/// free, because GRD's selection sequence is prefix-consistent.
 ///
 ///   ./incremental_replanning [--k1=15] [--k2=40] [--seed=2]
 
 #include <cstdio>
 
-#include "core/greedy.h"
-#include "core/random_schedule.h"
-#include "core/objective.h"
+#include "api/scheduler.h"
 #include "core/validate.h"
 #include "ebsn/generator.h"
 #include "exp/workload.h"
@@ -59,65 +57,69 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  core::GreedySolver grd;
-  core::RandomSolver rand_solver;
+  // One scheduler serves every planning round of the session.
+  api::Scheduler scheduler;
 
   // Wave 1: a hasty (random) early-bird batch.
-  core::SolverOptions wave1;
-  wave1.k = k1;
-  wave1.seed = static_cast<uint64_t>(seed);
-  auto committed = rand_solver.Solve(*instance, wave1);
-  if (!committed.ok()) {
+  api::SolveRequest wave1;
+  wave1.solver = "rand";
+  wave1.options.k = k1;
+  wave1.options.seed = static_cast<uint64_t>(seed);
+  const api::SolveResponse committed = scheduler.Solve(*instance, wave1);
+  if (!committed.status.ok()) {
     std::fprintf(stderr, "wave 1: %s\n",
-                 committed.status().ToString().c_str());
+                 committed.status.ToString().c_str());
     return 1;
   }
   std::printf("wave 1 (hasty) committed %zu events, attendance %.1f\n",
-              committed->assignments.size(), committed->utility);
+              committed.schedule.size(), committed.utility);
 
   // What a careful wave 1 would have looked like.
-  auto careful_wave1 = grd.Solve(*instance, wave1);
-  SES_CHECK(careful_wave1.ok());
+  api::SolveRequest careful = wave1;
+  careful.solver = "grd";
+  const api::SolveResponse careful_wave1 =
+      scheduler.Solve(*instance, careful);
+  SES_CHECK(careful_wave1.status.ok());
   std::printf("wave 1 (careful GRD alternative):           %.1f\n",
-              careful_wave1->utility);
+              careful_wave1.utility);
 
   // Wave 2: extend to k2 keeping wave 1 untouched.
-  core::SolverOptions wave2;
-  wave2.k = k2;
-  wave2.seed = static_cast<uint64_t>(seed);
-  wave2.warm_start = committed->assignments;
-  auto extended = grd.Solve(*instance, wave2);
-  if (!extended.ok()) {
+  api::SolveRequest wave2;
+  wave2.solver = "grd";
+  wave2.options.k = k2;
+  wave2.options.seed = static_cast<uint64_t>(seed);
+  wave2.options.warm_start = committed.schedule;
+  const api::SolveResponse extended = scheduler.Solve(*instance, wave2);
+  if (!extended.status.ok()) {
     std::fprintf(stderr, "wave 2: %s\n",
-                 extended.status().ToString().c_str());
+                 extended.status.ToString().c_str());
     return 1;
   }
-  SES_CHECK(core::ValidateAssignments(*instance, extended->assignments,
-                                      k2)
-                .ok());
+  SES_CHECK(
+      core::ValidateAssignments(*instance, extended.schedule, k2).ok());
 
   // Hypothetical: what if we could re-plan everything from scratch?
-  core::SolverOptions scratch;
-  scratch.k = k2;
-  scratch.seed = static_cast<uint64_t>(seed);
-  auto replanned = grd.Solve(*instance, scratch);
-  SES_CHECK(replanned.ok());
+  api::SolveRequest scratch = wave2;
+  scratch.options.warm_start.clear();
+  const api::SolveResponse replanned = scheduler.Solve(*instance, scratch);
+  SES_CHECK(replanned.status.ok());
 
   std::printf("wave 2 extended to %zu events, expected attendance %.1f\n",
-              extended->assignments.size(), extended->utility);
+              extended.schedule.size(), extended.utility);
   std::printf("from-scratch GRD plan of %lld events:          %.1f\n",
-              static_cast<long long>(k2), replanned->utility);
+              static_cast<long long>(k2), replanned.utility);
   const double price =
-      (replanned->utility - extended->utility) / replanned->utility;
+      (replanned.utility - extended.utility) / replanned.utility;
   std::printf("price of the hasty commitment: %.2f%%\n", 100.0 * price);
 
   // A greedy prefix costs nothing: GRD extended by GRD equals GRD.
-  core::SolverOptions greedy_prefix = wave2;
-  greedy_prefix.warm_start = careful_wave1->assignments;
-  auto greedy_extended = grd.Solve(*instance, greedy_prefix);
-  SES_CHECK(greedy_extended.ok());
+  api::SolveRequest greedy_prefix = wave2;
+  greedy_prefix.options.warm_start = careful_wave1.schedule;
+  const api::SolveResponse greedy_extended =
+      scheduler.Solve(*instance, greedy_prefix);
+  SES_CHECK(greedy_extended.status.ok());
   std::printf("extending a careful GRD wave 1 instead:        %.1f "
               "(prefix-consistent)\n",
-              greedy_extended->utility);
+              greedy_extended.utility);
   return 0;
 }

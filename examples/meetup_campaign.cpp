@@ -12,12 +12,11 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/registry.h"
+#include "api/scheduler.h"
 #include "core/validate.h"
 #include "ebsn/dataset.h"
 #include "ebsn/dataset_stats.h"
 #include "ebsn/generator.h"
-#include "exp/runner.h"
 #include "exp/workload.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -89,27 +88,37 @@ int main(int argc, char** argv) {
       instance->num_intervals(), instance->num_competing(),
       instance->theta());
 
-  // --- Every registered heuristic solver (exact would blow up here).
+  // --- Every registered heuristic solver (exact would blow up here),
+  // submitted asynchronously: the scheduler fans the runs across its
+  // pool while this thread collects responses in submission order.
+  api::Scheduler scheduler;
+  std::vector<api::PendingSolve> pending;
+  std::vector<std::string> names;
+  for (const std::string& name : api::ListSolvers()) {
+    if (name == "exact") continue;
+    api::SolveRequest request;
+    request.solver = name;
+    request.options.k = k;
+    request.options.seed = static_cast<uint64_t>(seed);
+    request.options.max_iterations = 5000;
+    pending.push_back(scheduler.Submit(*instance, std::move(request)));
+    names.push_back(name);
+  }
+
   std::printf("%8s %14s %10s %14s\n", "solver", "utility", "seconds",
               "assignments");
-  for (const std::string& name : core::ListSolvers()) {
-    if (name == "exact") continue;
-    auto solver = core::MakeSolver(name);
-    SES_CHECK(solver.ok());
-    core::SolverOptions options;
-    options.k = k;
-    options.seed = static_cast<uint64_t>(seed);
-    options.max_iterations = 5000;
-    auto result = solver.value()->Solve(*instance, options);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s: %s\n", name.c_str(),
-                   result.status().ToString().c_str());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const api::SolveResponse response = pending[i].Get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", names[i].c_str(),
+                   response.status.ToString().c_str());
       continue;
     }
     SES_CHECK(
-        core::ValidateAssignments(*instance, result->assignments).ok());
-    std::printf("%8s %14.2f %10.3f %14zu\n", name.c_str(), result->utility,
-                result->wall_seconds, result->assignments.size());
+        core::ValidateAssignments(*instance, response.schedule).ok());
+    std::printf("%8s %14.2f %10.3f %14zu\n", names[i].c_str(),
+                response.utility, response.wall_seconds,
+                response.schedule.size());
   }
   return 0;
 }

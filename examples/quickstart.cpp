@@ -1,5 +1,5 @@
-/// Quickstart: build a tiny SES instance by hand, run the paper's greedy
-/// scheduler, and inspect the resulting schedule.
+/// Quickstart: build a tiny SES instance by hand, solve it through the
+/// library's request/response API, and inspect the resulting schedule.
 ///
 ///   ./quickstart
 ///
@@ -7,13 +7,16 @@
 /// wants to place three candidate events (a pop concert, a fashion show,
 /// a theater play) into two evening slots while a competing venue runs a
 /// pop gig in slot 0.
+///
+/// This file is the canonical ses::api snippet referenced from the
+/// README: construct a Scheduler once, describe each run as a
+/// SolveRequest, and read the typed SolveResponse.
 
 #include <cstdio>
 #include <memory>
 
-#include "core/greedy.h"
+#include "api/scheduler.h"
 #include "core/instance.h"
-#include "core/objective.h"
 #include "core/validate.h"
 
 int main() {
@@ -32,12 +35,9 @@ int main() {
       .SetSigma(std::make_shared<core::ConstSigma>(0.9));
 
   // Candidate events: (location/stage, required staff, interested users).
-  const core::EventIndex pop_concert =
-      builder.AddEvent(0, 4.0, {{kAlice, 0.9f}, {kBob, 0.8f}});
-  const core::EventIndex fashion_show =
-      builder.AddEvent(1, 3.0, {{kAlice, 0.7f}});
-  const core::EventIndex theater_play =
-      builder.AddEvent(0, 5.0, {{kCarol, 0.8f}});
+  builder.AddEvent(0, 4.0, {{kAlice, 0.9f}, {kBob, 0.8f}});  // pop concert
+  builder.AddEvent(1, 3.0, {{kAlice, 0.7f}});                // fashion show
+  builder.AddEvent(0, 5.0, {{kCarol, 0.8f}});                // theater play
 
   // A competing venue hosts a pop gig during slot 0; it pulls on Alice
   // and Bob if our events land in the same slot.
@@ -50,31 +50,35 @@ int main() {
     return 1;
   }
 
+  // The Scheduler is the library's front door: it validates requests,
+  // owns a worker pool for async/batch submission, and never throws.
+  api::Scheduler scheduler;
+
   // Schedule k = 2 of the 3 candidates with the paper's GRD.
-  core::GreedySolver grd;
-  core::SolverOptions options;
-  options.k = 2;
-  auto result = grd.Solve(*instance, options);
-  if (!result.ok()) {
+  api::SolveRequest request;
+  request.solver = "grd";
+  request.options.k = 2;
+  // Optional run bounds (both default to "none"):
+  //   request.deadline = core::Deadline::After(0.050);  // 50 ms budget
+  //   request.cancel = std::make_shared<core::CancelToken>();
+  const api::SolveResponse response = scheduler.Solve(*instance, request);
+  if (!response.has_schedule()) {
     std::fprintf(stderr, "solve failed: %s\n",
-                 result.status().ToString().c_str());
+                 response.status.ToString().c_str());
     return 1;
   }
 
   const char* names[] = {"pop-concert", "fashion-show", "theater-play"};
   std::printf("GRD schedule (k=2):\n");
-  for (const core::Assignment& a : result->assignments) {
+  for (const core::Assignment& a : response.schedule) {
     std::printf("  slot %u <- %s\n", a.interval, names[a.event]);
   }
   std::printf("expected attendance (Omega): %.3f people\n",
-              result->utility);
+              response.utility);
 
   // The result is guaranteed feasible; double-check like a downstream
   // consumer would.
-  auto valid = core::ValidateAssignments(*instance, result->assignments, 2);
+  auto valid = core::ValidateAssignments(*instance, response.schedule, 2);
   std::printf("validation: %s\n", valid.ToString().c_str());
-  (void)pop_concert;
-  (void)fashion_show;
-  (void)theater_play;
   return valid.ok() ? 0 : 1;
 }

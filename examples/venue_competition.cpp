@@ -11,9 +11,9 @@
 
 #include <cstdio>
 
-#include "core/registry.h"
+#include "api/scheduler.h"
+#include "core/validate.h"
 #include "ebsn/generator.h"
-#include "exp/runner.h"
 #include "exp/workload.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -47,6 +47,9 @@ int main(int argc, char** argv) {
   std::printf("%22s %14s %14s\n", "competing-per-interval", "grd-utility",
               "rand-utility");
 
+  // One scheduler across the whole sweep; each competition level batches
+  // its two solvers and reads responses in request order.
+  api::Scheduler scheduler;
   for (const double mean : {0.0, 2.0, 4.0, 8.1, 16.0, 32.0}) {
     exp::PaperWorkloadConfig config;
     config.k = k;
@@ -59,14 +62,22 @@ int main(int argc, char** argv) {
                    instance.status().ToString().c_str());
       return 1;
     }
-    core::SolverOptions options;
-    options.k = k;
-    options.seed = static_cast<uint64_t>(seed);
-    auto records = exp::RunSolvers(*instance, {"grd", "rand"}, options,
-                                   static_cast<int64_t>(mean));
-    SES_CHECK(records.ok()) << records.status().ToString();
-    std::printf("%22.1f %14.2f %14.2f\n", mean, (*records)[0].utility,
-                (*records)[1].utility);
+    std::vector<api::SolveRequest> requests(2);
+    requests[0].solver = "grd";
+    requests[1].solver = "rand";
+    for (api::SolveRequest& request : requests) {
+      request.options.k = k;
+      request.options.seed = static_cast<uint64_t>(seed);
+    }
+    const std::vector<api::SolveResponse> responses =
+        scheduler.SolveBatch(*instance, requests);
+    for (const api::SolveResponse& response : responses) {
+      SES_CHECK(response.status.ok()) << response.status.ToString();
+      SES_CHECK(
+          core::ValidateAssignments(*instance, response.schedule).ok());
+    }
+    std::printf("%22.1f %14.2f %14.2f\n", mean, responses[0].utility,
+                responses[1].utility);
   }
   return 0;
 }

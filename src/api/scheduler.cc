@@ -1,0 +1,125 @@
+#include "api/scheduler.h"
+
+#include <utility>
+
+#include "core/registry.h"
+
+namespace ses::api {
+
+namespace {
+
+/// NotFound with the full catalog, so a caller (or a CLI user) can see
+/// the valid choices without a second round trip.
+util::Status UnknownSolverStatus(const std::string& name) {
+  std::string catalog;
+  for (const std::string& solver : core::ListSolvers()) {
+    if (!catalog.empty()) catalog += ", ";
+    catalog += solver;
+  }
+  return util::Status::NotFound("unknown solver '" + name +
+                                "'; registered solvers: " + catalog);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SchedulerOptions& options)
+    : pool_(options.num_threads) {}
+
+util::Status Scheduler::Validate(const core::SesInstance& instance,
+                                 const SolveRequest& request) const {
+  auto solver = core::MakeSolver(request.solver);
+  if (!solver.ok()) return UnknownSolverStatus(request.solver);
+  return core::ValidateSolverOptions(instance, request.options);
+}
+
+SolveResponse Scheduler::RunRequest(const core::SesInstance& instance,
+                                    const SolveRequest& request) const {
+  SolveResponse response;
+  response.solver = request.solver;
+
+  auto solver = core::MakeSolver(request.solver);
+  if (!solver.ok()) {
+    response.status = UnknownSolverStatus(request.solver);
+    return response;
+  }
+
+  core::SolveContext context;
+  context.deadline = request.deadline;
+  context.cancel = request.cancel;
+  context.work_counter = request.work_counter;
+
+  auto result = (*solver)->Solve(instance, request.options, context);
+  if (!result.ok()) {
+    response.status = result.status();
+    return response;
+  }
+
+  response.schedule = std::move(result->assignments);
+  response.utility = result->utility;
+  response.wall_seconds = result->wall_seconds;
+  response.stats = result->stats;
+  // An interrupted run surfaces through the response status while the
+  // best-so-far schedule stays available (has_schedule() is then true).
+  response.status = std::move(result->termination);
+  return response;
+}
+
+SolveResponse Scheduler::Solve(const core::SesInstance& instance,
+                               const SolveRequest& request) const {
+  return RunRequest(instance, request);
+}
+
+PendingSolve Scheduler::Submit(const core::SesInstance& instance,
+                               SolveRequest request) {
+  // Guarantee a token so PendingSolve::Cancel is never a silent no-op.
+  if (request.cancel == nullptr) {
+    request.cancel = std::make_shared<core::CancelToken>();
+  }
+
+  PendingSolve pending;
+  pending.cancel_ = request.cancel;
+
+  // Fail fast on invalid requests: resolve the handle immediately
+  // without occupying a worker.
+  if (auto status = Validate(instance, request); !status.ok()) {
+    std::promise<SolveResponse> promise;
+    SolveResponse response;
+    response.solver = request.solver;
+    response.status = std::move(status);
+    promise.set_value(std::move(response));
+    pending.future_ = promise.get_future();
+    return pending;
+  }
+
+  // ThreadPool::Submit wants a copyable callable; park the packaged_task
+  // behind a shared_ptr.
+  auto task = std::make_shared<std::packaged_task<SolveResponse()>>(
+      [this, &instance, request = std::move(request)]() {
+        return RunRequest(instance, request);
+      });
+  pending.future_ = task->get_future();
+  pool_.Submit([task]() { (*task)(); });
+  return pending;
+}
+
+std::vector<SolveResponse> Scheduler::SolveBatch(
+    const core::SesInstance& instance,
+    const std::vector<SolveRequest>& requests) {
+  // One future slot per request keeps the output order equal to the
+  // request order no matter which worker finishes first.
+  std::vector<PendingSolve> pending;
+  pending.reserve(requests.size());
+  for (const SolveRequest& request : requests) {
+    pending.push_back(Submit(instance, request));
+  }
+  std::vector<SolveResponse> responses;
+  responses.reserve(requests.size());
+  for (PendingSolve& handle : pending) {
+    responses.push_back(handle.Get());
+  }
+  return responses;
+}
+
+std::vector<std::string> ListSolvers() { return core::ListSolvers(); }
+
+}  // namespace ses::api

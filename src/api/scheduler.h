@@ -1,0 +1,192 @@
+#ifndef SES_API_SCHEDULER_H_
+#define SES_API_SCHEDULER_H_
+
+/// \file
+/// ses::api — the session-oriented solve surface of the library.
+///
+/// Every consumer (CLI, examples, the experiment runner, downstream
+/// users) talks to solvers through a Scheduler and typed request /
+/// response messages instead of hand-assembling MakeSolver +
+/// SolverOptions + Validate + objective recomputation:
+///
+///   api::Scheduler scheduler;                 // owns a worker pool
+///   api::SolveRequest request;
+///   request.solver = "grd";
+///   request.options.k = 40;
+///   request.deadline = core::Deadline::After(0.5);   // optional budget
+///   api::SolveResponse response = scheduler.Solve(instance, request);
+///
+/// Requests are validated up front (unknown solver, infeasible k, bad
+/// warm start) and fail with a typed util::Status before any solver
+/// work. Runs are interruptible: a Deadline or CancelToken stops the
+/// solve at its next iteration boundary and the response still carries
+/// the best feasible schedule found so far, with status
+/// kDeadlineExceeded / kCancelled.
+///
+/// Submit() runs a request asynchronously on the scheduler's pool and
+/// returns a PendingSolve; SolveBatch() fans N requests across the pool
+/// and returns responses in request order regardless of completion
+/// order — the primitive behind exp::RunSolvers' per-point solver loop.
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/solve_context.h"
+#include "core/solver.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ses::api {
+
+/// One solve request: which solver, its options, and optional run bounds.
+struct SolveRequest {
+  /// Registered solver name ("grd", "lazy", "bestfit", "top", "rand",
+  /// "exact", "ls", "anneal"); see ListSolvers().
+  std::string solver;
+
+  /// Solver tuning knobs (k, seed, warm start, ...).
+  core::SolverOptions options;
+
+  /// Wall-clock budget; unlimited by default. An expired deadline turns
+  /// the run into "return the best feasible schedule found so far".
+  /// RPC-style semantics: the clock starts when the Deadline is
+  /// constructed, so for Submit/SolveBatch the budget covers queue wait
+  /// as well as solver time — a request stuck behind a deep queue
+  /// returns kDeadlineExceeded (with whatever it computed, possibly
+  /// nothing) rather than blowing the caller's latency target.
+  core::Deadline deadline;
+
+  /// Optional cancellation token shared with the caller. Submit() fills
+  /// this in when absent so PendingSolve::Cancel always works.
+  std::shared_ptr<core::CancelToken> cancel;
+
+  /// Optional externally-owned progress counter, bumped at solver
+  /// iteration boundaries while the request runs.
+  std::atomic<uint64_t>* work_counter = nullptr;
+};
+
+/// Outcome of one request.
+struct SolveResponse {
+  /// OK: completed schedule. kDeadlineExceeded / kCancelled: interrupted,
+  /// `schedule` holds the best feasible partial result (possibly empty).
+  /// Any other code: the request failed and `schedule` is empty.
+  util::Status status;
+
+  /// The chosen assignments, sorted by (interval, event).
+  std::vector<core::Assignment> schedule;
+
+  /// Total utility Omega of `schedule` (reference objective).
+  double utility = 0.0;
+
+  /// Wall-clock seconds spent inside the solver.
+  double wall_seconds = 0.0;
+
+  /// Solver work counters.
+  core::SolverStats stats;
+
+  /// Name of the solver that ran (echoed from the request).
+  std::string solver;
+
+  /// True when the response carries a usable schedule: completed runs
+  /// and interrupted-but-partial runs alike.
+  bool has_schedule() const {
+    return status.ok() ||
+           status.code() == util::StatusCode::kDeadlineExceeded ||
+           status.code() == util::StatusCode::kCancelled;
+  }
+};
+
+/// Scheduler construction knobs.
+struct SchedulerOptions {
+  /// Worker threads for Submit/SolveBatch; 0 = hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Handle to an in-flight asynchronous solve.
+///
+/// Obtained from Scheduler::Submit. Get() blocks until the response is
+/// ready and may be called once; Cancel() requests cooperative
+/// cancellation (the solve returns kCancelled with its best-so-far
+/// schedule at the next iteration boundary).
+class PendingSolve {
+ public:
+  PendingSolve() = default;
+
+  /// True when a response can be fetched without blocking.
+  bool Ready() const {
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+  }
+
+  /// Requests cancellation of the underlying solve.
+  void Cancel() {
+    if (cancel_ != nullptr) cancel_->Cancel();
+  }
+
+  /// Blocks until the solve finishes and returns its response. Must be
+  /// called exactly once on a handle returned by Submit.
+  SolveResponse Get() { return future_.get(); }
+
+ private:
+  friend class Scheduler;
+  std::future<SolveResponse> future_;
+  std::shared_ptr<core::CancelToken> cancel_;
+};
+
+/// Session-oriented solve front end. Owns a util::ThreadPool; one
+/// Scheduler is meant to serve many requests (and many callers — all
+/// entry points are thread-safe; solver runs share the pool).
+///
+/// The instance passed to Solve/Submit/SolveBatch is read concurrently
+/// and must stay alive and unmodified until every response has been
+/// collected. SesInstance is immutable after Build, so this is the
+/// natural contract.
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& options = SchedulerOptions());
+
+  /// Typed pre-flight check, run before any solver work: NotFound for an
+  /// unknown solver name (the message lists the catalog),
+  /// InvalidArgument for an infeasible k or a bad warm start.
+  util::Status Validate(const core::SesInstance& instance,
+                        const SolveRequest& request) const;
+
+  /// Validates and runs \p request synchronously on the calling thread.
+  SolveResponse Solve(const core::SesInstance& instance,
+                      const SolveRequest& request) const;
+
+  /// Validates \p request and enqueues it on the pool. Validation errors
+  /// surface through the returned handle's Get(), never as lost work.
+  PendingSolve Submit(const core::SesInstance& instance,
+                      SolveRequest request);
+
+  /// Runs every request concurrently on the pool and returns responses
+  /// in request order — deterministic regardless of worker count or
+  /// completion order. Invalid requests yield error responses in their
+  /// slot without disturbing their siblings.
+  std::vector<SolveResponse> SolveBatch(
+      const core::SesInstance& instance,
+      const std::vector<SolveRequest>& requests);
+
+  /// Worker threads in the pool.
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  /// Validates and executes one request end to end.
+  SolveResponse RunRequest(const core::SesInstance& instance,
+                           const SolveRequest& request) const;
+
+  util::ThreadPool pool_;
+};
+
+/// All registered solver names, in presentation order (forwarded from
+/// the core registry so api callers need no core include).
+std::vector<std::string> ListSolvers();
+
+}  // namespace ses::api
+
+#endif  // SES_API_SCHEDULER_H_

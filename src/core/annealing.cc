@@ -10,9 +10,9 @@
 
 namespace ses::core {
 
-util::Result<SolverResult> SimulatedAnnealingSolver::Solve(
-    const SesInstance& instance, const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> SimulatedAnnealingSolver::DoSolve(
+    const SesInstance& instance, const SolverOptions& options,
+    const SolveContext& context) {
   if (options.initial_temperature <= 0.0) {
     return util::Status::InvalidArgument(
         "initial_temperature must be positive");
@@ -25,12 +25,12 @@ util::Result<SolverResult> SimulatedAnnealingSolver::Solve(
   SolverResult base;
   if (options.base_solver == BaseSolver::kGreedy) {
     GreedySolver greedy;
-    auto seeded = greedy.Solve(instance, options);
+    auto seeded = greedy.Solve(instance, options, context);
     if (!seeded.ok()) return seeded.status();
     base = std::move(seeded).value();
   } else {
     RandomSolver random;
-    auto seeded = random.Solve(instance, options);
+    auto seeded = random.Solve(instance, options, context);
     if (!seeded.ok()) return seeded.status();
     base = std::move(seeded).value();
   }
@@ -43,12 +43,15 @@ util::Result<SolverResult> SimulatedAnnealingSolver::Solve(
   util::Rng rng(options.seed ^ 0x5adc0ffee1234567ULL);
   MoveEngine engine(instance, model, rng);
   SolverStats stats;
+  util::Status termination = base.termination;
 
   double temperature = options.initial_temperature;
   double best_utility = model.total_utility();
   std::vector<Assignment> best = model.schedule().Assignments();
 
-  for (int64_t i = 0; i < options.max_iterations; ++i) {
+  for (int64_t i = 0; termination.ok() && i < options.max_iterations; ++i) {
+    if (context.CheckStop(&termination)) break;
+    context.CountWork(1);
     const auto accept = [&](double delta) {
       if (delta > 0.0) return true;
       if (temperature <= 1e-12) return false;
@@ -80,6 +83,7 @@ util::Result<SolverResult> SimulatedAnnealingSolver::Solve(
   result.wall_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   result.solver = std::string(name());
+  result.termination = std::move(termination);
   return result;
 }
 

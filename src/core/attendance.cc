@@ -9,7 +9,8 @@ AttendanceModel::AttendanceModel(const SesInstance& instance)
       schedule_(instance),
       denom_(instance.num_users(), 0.0),
       sched_mass_(instance.num_users(), 0.0),
-      sigma_row_(instance.num_users(), 0.0f) {
+      sigma_scratch_(instance.num_users(), 0.0f),
+      interval_cache_(instance.num_intervals()) {
   touched_.reserve(1024);
 }
 
@@ -23,15 +24,43 @@ void AttendanceModel::LoadInterval(IntervalIndex t) {
   touched_.clear();
   loaded_ = t;
 
-  for (CompetingIndex c : instance_->CompetingAt(t)) {
-    auto users = instance_->CompetingUsers(c);
-    auto values = instance_->CompetingValues(c);
-    for (size_t i = 0; i < users.size(); ++i) {
-      const UserIndex u = users[i];
-      if (denom_[u] == 0.0) touched_.push_back(u);
-      denom_[u] += static_cast<double>(values[i]);
+  IntervalCache& cache = interval_cache_[t];
+  if (cache.ready) {
+    // Fast path: replay the schedule-independent state from the cache.
+    for (const auto& [u, mass] : cache.competing) {
+      touched_.push_back(u);
+      denom_[u] = mass;
+    }
+    sigma_row_ = cache.sigma.data();
+  } else {
+    for (CompetingIndex c : instance_->CompetingAt(t)) {
+      auto users = instance_->CompetingUsers(c);
+      auto values = instance_->CompetingValues(c);
+      for (size_t i = 0; i < users.size(); ++i) {
+        const UserIndex u = users[i];
+        if (denom_[u] == 0.0) touched_.push_back(u);
+        denom_[u] += static_cast<double>(values[i]);
+      }
+    }
+    if (cache.loads < 2) ++cache.loads;
+    if (cache.loads >= 2) {
+      // Second load: this interval is being revisited, so snapshot its
+      // competing masses (denom_ holds exactly C here — scheduled events
+      // are folded in below) and sigma row for every future reload.
+      cache.competing.reserve(touched_.size());
+      for (UserIndex u : touched_) {
+        cache.competing.emplace_back(u, denom_[u]);
+      }
+      cache.sigma.resize(instance_->num_users());
+      instance_->sigma().FillInterval(t, cache.sigma);
+      cache.ready = true;
+      sigma_row_ = cache.sigma.data();
+    } else {
+      instance_->sigma().FillInterval(t, sigma_scratch_);
+      sigma_row_ = sigma_scratch_.data();
     }
   }
+
   for (EventIndex p : schedule_.EventsAt(t)) {
     auto users = instance_->EventUsers(p);
     auto values = instance_->EventValues(p);
@@ -42,7 +71,6 @@ void AttendanceModel::LoadInterval(IntervalIndex t) {
       sched_mass_[u] += static_cast<double>(values[i]);
     }
   }
-  instance_->sigma().FillInterval(t, sigma_row_);
 }
 
 void AttendanceModel::TouchLoaded(EventIndex e, double sign) {

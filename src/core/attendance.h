@@ -29,6 +29,20 @@
 /// "loaded" interval at a time. GRD's access pattern (interval-major
 /// initial sweep, then one interval per iteration) makes this the right
 /// trade: marginal gains cost O(nnz(row)) with pure array reads.
+///
+/// Reloading an interval used to recompute its schedule-independent
+/// state from scratch every time: the aggregated competing-event
+/// interest mass (the C part of D) and the full sigma row — for the
+/// hash-based sigma provider that is |U| hash evaluations per reload,
+/// the dominant cost of move-based solvers that hop between intervals
+/// thousands of times. Both are now cached per interval. The cache is
+/// populated on an interval's *second* load, so one-shot sweeps (GRD's
+/// generation pass touches each interval exactly once) pay no extra
+/// memory, while reload-heavy callers (local search, annealing, GRD's
+/// update passes) hit pure array reads. Cached masses are stored as the
+/// same doubles the uncached path accumulates, so results are
+/// bit-for-bit identical with and without the cache
+/// (tests/core_sigma_cache_test.cc pins this).
 
 #include <cstdint>
 #include <vector>
@@ -43,6 +57,11 @@ namespace ses::core {
 class AttendanceModel {
  public:
   explicit AttendanceModel(const SesInstance& instance);
+
+  // sigma_row_ points into this object's own buffers (scratch or the
+  // interval cache); a copied or moved model would silently dangle.
+  AttendanceModel(const AttendanceModel&) = delete;
+  AttendanceModel& operator=(const AttendanceModel&) = delete;
 
   /// The evolving schedule.
   const Schedule& schedule() const { return schedule_; }
@@ -80,14 +99,28 @@ class AttendanceModel {
   /// the loaded scratch.
   void TouchLoaded(EventIndex e, double sign);
 
+  /// Schedule-independent per-interval state, cached on second load.
+  struct IntervalCache {
+    /// Saturating load counter; the cache materializes at 2.
+    uint8_t loads = 0;
+    bool ready = false;
+    /// Aggregated competing-event interest mass per user (C), doubles to
+    /// keep cached reloads bitwise identical to the uncached path.
+    std::vector<std::pair<UserIndex, double>> competing;
+    /// Dense sigma(u, t) row.
+    std::vector<float> sigma;
+  };
+
   const SesInstance* instance_;
   Schedule schedule_;
 
   IntervalIndex loaded_ = kInvalidIndex;
   std::vector<double> denom_;       ///< D = C + M per user (loaded interval)
   std::vector<double> sched_mass_;  ///< M per user (loaded interval)
-  std::vector<float> sigma_row_;    ///< sigma(u, loaded interval)
+  std::vector<float> sigma_scratch_;  ///< uncached sigma row storage
+  const float* sigma_row_ = nullptr;  ///< sigma(u, loaded interval)
   std::vector<UserIndex> touched_;  ///< users with non-zero scratch
+  std::vector<IntervalCache> interval_cache_;  ///< one slot per interval
 
   double total_utility_ = 0.0;
   uint64_t gain_evaluations_ = 0;

@@ -9,9 +9,9 @@
 
 namespace ses::core {
 
-util::Result<SolverResult> BestFitSolver::Solve(
-    const SesInstance& instance, const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> BestFitSolver::DoSolve(
+    const SesInstance& instance, const SolverOptions& options,
+    const SolveContext& context) {
   util::WallTimer timer;
 
   AttendanceModel model(instance);
@@ -21,10 +21,12 @@ util::Result<SolverResult> BestFitSolver::Solve(
     model.Apply(a.event, a.interval);
   }
   SolverStats stats;
+  util::Status termination;
 
   // Pass 1: optimistic per-event priority = best empty-schedule score.
   std::vector<double> priority(instance.num_events(), 0.0);
   for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+    if (context.CheckStop(&termination)) break;
     for (EventIndex e = 0; e < instance.num_events(); ++e) {
       if (model.schedule().IsAssigned(e)) continue;  // warm-started
       priority[e] = std::max(priority[e], model.MarginalGain(e, t));
@@ -38,8 +40,11 @@ util::Result<SolverResult> BestFitSolver::Solve(
             });
 
   // Pass 2: each event takes its currently-best feasible interval.
+  // Skipped when pass 1 was cut short (priorities would be truncated).
   const size_t k = static_cast<size_t>(options.k);
   for (EventIndex e : order) {
+    if (!termination.ok() || context.CheckStop(&termination)) break;
+    context.CountWork(1);
     if (model.schedule().size() >= k) break;
     if (model.schedule().IsAssigned(e)) continue;  // warm-started
     double best_gain = -1.0;
@@ -66,6 +71,7 @@ util::Result<SolverResult> BestFitSolver::Solve(
   result.wall_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   result.solver = std::string(name());
+  result.termination = std::move(termination);
   return result;
 }
 

@@ -17,10 +17,13 @@ struct SearchContext {
 
   const SesInstance* instance;
   AttendanceModel model;
+  const SolveContext* context = nullptr;
   size_t k = 0;
   uint64_t max_nodes = 0;
   uint64_t nodes = 0;
   bool budget_exhausted = false;
+  /// Set when the SolveContext stopped the search early.
+  util::Status termination;
 
   /// upper_bound[e] = max over t of the empty-schedule score of (e, t).
   std::vector<double> event_upper_bound;
@@ -43,11 +46,19 @@ double SuffixBound(const SearchContext& ctx, EventIndex from, size_t need) {
 }
 
 void Dfs(SearchContext& ctx, EventIndex next_event, size_t chosen) {
-  if (ctx.budget_exhausted) return;
+  if (ctx.budget_exhausted || !ctx.termination.ok()) return;
   if (++ctx.nodes > ctx.max_nodes) {
     ctx.budget_exhausted = true;
     return;
   }
+  // Nodes are cheap relative to a clock read, so poll on a stride. The
+  // first node (nodes == 1) polls too, making a ~0 deadline return
+  // before any search work.
+  if ((ctx.nodes & 255) == 1 &&
+      ctx.context->CheckStop(&ctx.termination)) {
+    return;
+  }
+  ctx.context->CountWork(1);
 
   if (chosen == ctx.k) {
     const double utility = ctx.model.total_utility();
@@ -77,7 +88,7 @@ void Dfs(SearchContext& ctx, EventIndex next_event, size_t chosen) {
     ctx.model.Apply(next_event, t);
     Dfs(ctx, next_event + 1, chosen + 1);
     ctx.model.Unapply(next_event);
-    if (ctx.budget_exhausted) return;
+    if (ctx.budget_exhausted || !ctx.termination.ok()) return;
   }
 
   // Branch 0: skip next_event entirely.
@@ -86,20 +97,25 @@ void Dfs(SearchContext& ctx, EventIndex next_event, size_t chosen) {
 
 }  // namespace
 
-util::Result<SolverResult> ExactSolver::Solve(const SesInstance& instance,
-                                              const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> ExactSolver::DoSolve(const SesInstance& instance,
+                                                const SolverOptions& options,
+                                                const SolveContext& context) {
   util::WallTimer timer;
 
   SearchContext ctx(instance);
+  ctx.context = &context;
   ctx.k = static_cast<size_t>(options.k);
   ctx.max_nodes = options.max_nodes;
 
-  // Per-event optimistic scores on the empty schedule.
+  // Per-event optimistic scores on the empty schedule. The probe alone
+  // is O(|E|·|T|) gain evaluations, so it polls the context too — a ~0
+  // deadline must return before any of the precompute, not just before
+  // the first search node.
   ctx.event_upper_bound.assign(instance.num_events(), 0.0);
   {
     AttendanceModel probe(instance);
     for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      if (context.CheckStop(&ctx.termination)) break;
       for (EventIndex e = 0; e < instance.num_events(); ++e) {
         ctx.event_upper_bound[e] =
             std::max(ctx.event_upper_bound[e], probe.MarginalGain(e, t));
@@ -108,29 +124,37 @@ util::Result<SolverResult> ExactSolver::Solve(const SesInstance& instance,
   }
 
   // suffix_top[e][j] = sum of j largest upper bounds among events >= e.
-  ctx.suffix_top.resize(instance.num_events() + 1);
-  ctx.suffix_top[instance.num_events()] = {0.0};
-  for (EventIndex e = instance.num_events(); e-- > 0;) {
-    std::vector<double> tail(ctx.event_upper_bound.begin() + e,
-                             ctx.event_upper_bound.end());
-    std::sort(tail.begin(), tail.end(), std::greater<double>());
-    const size_t cap = std::min(tail.size(), ctx.k);
-    std::vector<double> sums(cap + 1, 0.0);
-    for (size_t j = 0; j < cap; ++j) sums[j + 1] = sums[j] + tail[j];
-    ctx.suffix_top[e] = std::move(sums);
+  // O(|E|^2 log |E|) worst case — also interruptible.
+  if (ctx.termination.ok()) {
+    ctx.suffix_top.resize(instance.num_events() + 1);
+    ctx.suffix_top[instance.num_events()] = {0.0};
+    for (EventIndex e = instance.num_events(); e-- > 0;) {
+      if (context.CheckStop(&ctx.termination)) break;
+      std::vector<double> tail(ctx.event_upper_bound.begin() + e,
+                               ctx.event_upper_bound.end());
+      std::sort(tail.begin(), tail.end(), std::greater<double>());
+      const size_t cap = std::min(tail.size(), ctx.k);
+      std::vector<double> sums(cap + 1, 0.0);
+      for (size_t j = 0; j < cap; ++j) sums[j + 1] = sums[j] + tail[j];
+      ctx.suffix_top[e] = std::move(sums);
+    }
   }
 
-  Dfs(ctx, 0, 0);
+  if (ctx.termination.ok()) Dfs(ctx, 0, 0);
 
-  if (ctx.budget_exhausted) {
-    return util::Status::ResourceExhausted(
-        "exact solver exceeded its node budget; instance too large");
+  if (ctx.termination.ok()) {
+    if (ctx.budget_exhausted) {
+      return util::Status::ResourceExhausted(
+          "exact solver exceeded its node budget; instance too large");
+    }
+    if (ctx.best_utility < 0.0) {
+      // No feasible size-k schedule exists.
+      return util::Status::Infeasible(
+          "no feasible schedule with k assignments");
+    }
   }
-  if (ctx.best_utility < 0.0) {
-    // No feasible size-k schedule exists.
-    return util::Status::Infeasible(
-        "no feasible schedule with k assignments");
-  }
+  // On early termination the incumbent (possibly empty) is the best
+  // feasible schedule certified so far — return it rather than erroring.
 
   SolverResult result;
   result.assignments = std::move(ctx.best_assignments);
@@ -144,6 +168,7 @@ util::Result<SolverResult> ExactSolver::Solve(const SesInstance& instance,
   result.stats.nodes = ctx.nodes;
   result.stats.gain_evaluations = ctx.model.gain_evaluations();
   result.solver = std::string(name());
+  result.termination = std::move(ctx.termination);
   return result;
 }
 

@@ -30,8 +30,10 @@ class ExactSolver final : public Solver {
  public:
   std::string_view name() const override { return "exact"; }
 
-  util::Result<SolverResult> Solve(const SesInstance& instance,
-                                   const SolverOptions& options) override;
+ protected:
+  util::Result<SolverResult> DoSolve(const SesInstance& instance,
+                                     const SolverOptions& options,
+                                     const SolveContext& context) override;
 };
 
 }  // namespace ses::core

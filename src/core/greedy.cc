@@ -19,9 +19,9 @@ struct ScoredAssignment {
 
 }  // namespace
 
-util::Result<SolverResult> GreedySolver::Solve(const SesInstance& instance,
-                                               const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> GreedySolver::DoSolve(
+    const SesInstance& instance, const SolverOptions& options,
+    const SolveContext& context) {
   util::WallTimer timer;
 
   AttendanceModel model(instance);
@@ -31,6 +31,7 @@ util::Result<SolverResult> GreedySolver::Solve(const SesInstance& instance,
     model.Apply(a.event, a.interval);
   }
   SolverStats stats;
+  util::Status termination;
 
   // Algorithm 1, lines 2-4: generate all assignments with their scores.
   // Interval-major order so the attendance engine loads each interval's
@@ -39,6 +40,7 @@ util::Result<SolverResult> GreedySolver::Solve(const SesInstance& instance,
   list.reserve(static_cast<size_t>(instance.num_events()) *
                instance.num_intervals());
   for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+    if (context.CheckStop(&termination)) break;
     for (EventIndex e = 0; e < instance.num_events(); ++e) {
       if (model.schedule().IsAssigned(e)) continue;  // warm-started
       list.push_back({e, t, model.MarginalGain(e, t)});
@@ -46,8 +48,11 @@ util::Result<SolverResult> GreedySolver::Solve(const SesInstance& instance,
   }
 
   const size_t k = static_cast<size_t>(options.k);
-  // Algorithm 1, lines 5-13.
-  while (model.schedule().size() < k && !list.empty()) {
+  // Algorithm 1, lines 5-13. Skipped entirely when generation was cut
+  // short: selecting from a partial list would bias toward low intervals.
+  while (termination.ok() && model.schedule().size() < k && !list.empty()) {
+    if (context.CheckStop(&termination)) break;
+    context.CountWork(1);
     // popTopAssgn: find and remove the largest-score assignment.
     size_t best = 0;
     for (size_t i = 1; i < list.size(); ++i) {
@@ -86,6 +91,7 @@ util::Result<SolverResult> GreedySolver::Solve(const SesInstance& instance,
   result.wall_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   result.solver = std::string(name());
+  result.termination = std::move(termination);
   return result;
 }
 

@@ -26,9 +26,9 @@ struct HeapLess {
 
 }  // namespace
 
-util::Result<SolverResult> LazyGreedySolver::Solve(
-    const SesInstance& instance, const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> LazyGreedySolver::DoSolve(
+    const SesInstance& instance, const SolverOptions& options,
+    const SolveContext& context) {
   util::WallTimer timer;
 
   AttendanceModel model(instance);
@@ -38,6 +38,7 @@ util::Result<SolverResult> LazyGreedySolver::Solve(
     model.Apply(a.event, a.interval);
   }
   SolverStats stats;
+  util::Status termination;
 
   std::vector<uint32_t> interval_version(instance.num_intervals(), 0);
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
@@ -46,6 +47,7 @@ util::Result<SolverResult> LazyGreedySolver::Solve(
     init.reserve(static_cast<size_t>(instance.num_events()) *
                  instance.num_intervals());
     for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      if (context.CheckStop(&termination)) break;
       for (EventIndex e = 0; e < instance.num_events(); ++e) {
         if (model.schedule().IsAssigned(e)) continue;  // warm-started
         init.push_back({model.MarginalGain(e, t), e, t, 0});
@@ -56,7 +58,11 @@ util::Result<SolverResult> LazyGreedySolver::Solve(
   }
 
   const size_t k = static_cast<size_t>(options.k);
-  while (model.schedule().size() < k && !heap.empty()) {
+  // A partially generated heap would miss high intervals, so selection
+  // only runs when generation completed.
+  while (termination.ok() && model.schedule().size() < k && !heap.empty()) {
+    if (context.CheckStop(&termination)) break;
+    context.CountWork(1);
     HeapEntry top = heap.top();
     heap.pop();
     ++stats.pops;
@@ -85,6 +91,7 @@ util::Result<SolverResult> LazyGreedySolver::Solve(
   result.wall_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   result.solver = std::string(name());
+  result.termination = std::move(termination);
   return result;
 }
 

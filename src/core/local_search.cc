@@ -111,21 +111,22 @@ bool MoveEngine::TryRandomMove(
   return TrySwap(accept, accepted);
 }
 
-util::Result<SolverResult> LocalSearchSolver::Solve(
-    const SesInstance& instance, const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> LocalSearchSolver::DoSolve(
+    const SesInstance& instance, const SolverOptions& options,
+    const SolveContext& context) {
   util::WallTimer timer;
 
-  // Seed schedule.
+  // Seed schedule. The context is threaded through, so an expiring
+  // deadline leaves a partial (still feasible) seed to improve on.
   SolverResult base;
   if (options.base_solver == BaseSolver::kGreedy) {
     GreedySolver greedy;
-    auto seeded = greedy.Solve(instance, options);
+    auto seeded = greedy.Solve(instance, options, context);
     if (!seeded.ok()) return seeded.status();
     base = std::move(seeded).value();
   } else {
     RandomSolver random;
-    auto seeded = random.Solve(instance, options);
+    auto seeded = random.Solve(instance, options, context);
     if (!seeded.ok()) return seeded.status();
     base = std::move(seeded).value();
   }
@@ -138,8 +139,11 @@ util::Result<SolverResult> LocalSearchSolver::Solve(
   util::Rng rng(options.seed ^ 0x10ca15ea5c4ed01eULL);
   MoveEngine engine(instance, model, rng);
   SolverStats stats;
+  util::Status termination = base.termination;
   const auto accept_improving = [](double delta) { return delta > 1e-12; };
-  for (int64_t i = 0; i < options.max_iterations; ++i) {
+  for (int64_t i = 0; termination.ok() && i < options.max_iterations; ++i) {
+    if (context.CheckStop(&termination)) break;
+    context.CountWork(1);
     bool accepted = false;
     if (!engine.TryRandomMove(accept_improving, &accepted)) break;
     ++stats.moves_tried;
@@ -153,6 +157,7 @@ util::Result<SolverResult> LocalSearchSolver::Solve(
   result.wall_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   result.solver = std::string(name());
+  result.termination = std::move(termination);
   return result;
 }
 

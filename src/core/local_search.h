@@ -54,8 +54,10 @@ class LocalSearchSolver final : public Solver {
  public:
   std::string_view name() const override { return "ls"; }
 
-  util::Result<SolverResult> Solve(const SesInstance& instance,
-                                   const SolverOptions& options) override;
+ protected:
+  util::Result<SolverResult> DoSolve(const SesInstance& instance,
+                                     const SolverOptions& options,
+                                     const SolveContext& context) override;
 };
 
 }  // namespace ses::core

@@ -7,9 +7,9 @@
 
 namespace ses::core {
 
-util::Result<SolverResult> RandomSolver::Solve(const SesInstance& instance,
-                                               const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> RandomSolver::DoSolve(
+    const SesInstance& instance, const SolverOptions& options,
+    const SolveContext& context) {
   util::WallTimer timer;
   util::Rng rng(options.seed);
 
@@ -19,6 +19,10 @@ util::Result<SolverResult> RandomSolver::Solve(const SesInstance& instance,
         << "warm-start assignment infeasible";
   }
   SolverStats stats;
+  util::Status termination;
+  // Both loops below are tight (no gain evaluations), so the context is
+  // polled on a stride rather than every draw.
+  uint64_t polls = 0;
   const size_t k = static_cast<size_t>(options.k);
 
   // A random permutation of all (event, interval) pairs, materialized
@@ -30,6 +34,8 @@ util::Result<SolverResult> RandomSolver::Solve(const SesInstance& instance,
   uint64_t rejections = 0;
   const uint64_t rejection_budget = 16 * (pair_space + 1);
   while (schedule.size() < k && rejections < rejection_budget) {
+    if ((polls++ & 63) == 0 && context.CheckStop(&termination)) break;
+    context.CountWork(1);
     const uint64_t pick = rng.NextBounded(pair_space);
     const EventIndex e = static_cast<EventIndex>(pick % instance.num_events());
     const IntervalIndex t =
@@ -41,12 +47,14 @@ util::Result<SolverResult> RandomSolver::Solve(const SesInstance& instance,
       ++rejections;
     }
   }
-  if (schedule.size() < k) {
+  if (termination.ok() && schedule.size() < k) {
     // Exhaustive fallback: visit every pair in random order.
     std::vector<uint64_t> pairs(pair_space);
     for (uint64_t i = 0; i < pair_space; ++i) pairs[i] = i;
     util::Shuffle(pairs, rng);
     for (uint64_t pick : pairs) {
+      if ((polls++ & 63) == 0 && context.CheckStop(&termination)) break;
+      context.CountWork(1);
       if (schedule.size() >= k) break;
       const EventIndex e =
           static_cast<EventIndex>(pick % instance.num_events());
@@ -65,6 +73,7 @@ util::Result<SolverResult> RandomSolver::Solve(const SesInstance& instance,
   result.wall_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   result.solver = std::string(name());
+  result.termination = std::move(termination);
   return result;
 }
 

@@ -15,8 +15,10 @@ class RandomSolver final : public Solver {
  public:
   std::string_view name() const override { return "rand"; }
 
-  util::Result<SolverResult> Solve(const SesInstance& instance,
-                                   const SolverOptions& options) override;
+ protected:
+  util::Result<SolverResult> DoSolve(const SesInstance& instance,
+                                     const SolverOptions& options,
+                                     const SolveContext& context) override;
 };
 
 }  // namespace ses::core

@@ -5,6 +5,13 @@
 
 namespace ses::core {
 
+util::Result<SolverResult> Solver::Solve(const SesInstance& instance,
+                                         const SolverOptions& options,
+                                         const SolveContext& context) {
+  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+  return DoSolve(instance, options, context);
+}
+
 util::Status ValidateSolverOptions(const SesInstance& instance,
                                    const SolverOptions& options) {
   if (options.k <= 0) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/solve_context.h"
 #include "core/types.h"
 #include "util/status.h"
 
@@ -70,7 +71,8 @@ struct SolverStats {
 /// Outcome of one solver run.
 struct SolverResult {
   /// The chosen assignments, sorted by (interval, event). May hold fewer
-  /// than k entries when no more valid assignments existed.
+  /// than k entries when no more valid assignments existed — or when the
+  /// run stopped early (see `termination`).
   std::vector<Assignment> assignments;
   /// Total utility Omega of the schedule, recomputed with the reference
   /// objective (not the solver's internal tracker).
@@ -81,9 +83,19 @@ struct SolverResult {
   SolverStats stats;
   /// Name of the producing solver ("grd", "top", ...).
   std::string solver;
+  /// OK when the solver ran to completion. kDeadlineExceeded / kCancelled
+  /// when the SolveContext stopped it early; `assignments` then holds the
+  /// best feasible schedule found so far (possibly empty).
+  util::Status termination;
 };
 
 /// Abstract solver.
+///
+/// Callers use the non-virtual Solve(), which validates options and then
+/// dispatches to the implementation. Passing a SolveContext bounds the
+/// run: every solver polls it at iteration boundaries and, on expiry or
+/// cancellation, returns the best feasible schedule found so far with
+/// SolverResult::termination set (the Result itself stays OK).
 class Solver {
  public:
   virtual ~Solver() = default;
@@ -91,9 +103,17 @@ class Solver {
   /// Stable lowercase identifier ("grd", "top", "rand", ...).
   virtual std::string_view name() const = 0;
 
-  /// Computes a feasible schedule with (up to) options.k assignments.
-  virtual util::Result<SolverResult> Solve(const SesInstance& instance,
-                                           const SolverOptions& options) = 0;
+  /// Computes a feasible schedule with (up to) options.k assignments,
+  /// honoring \p context's deadline and cancellation token.
+  util::Result<SolverResult> Solve(
+      const SesInstance& instance, const SolverOptions& options,
+      const SolveContext& context = SolveContext());
+
+ protected:
+  /// Implementation hook; options are already validated.
+  virtual util::Result<SolverResult> DoSolve(const SesInstance& instance,
+                                             const SolverOptions& options,
+                                             const SolveContext& context) = 0;
 };
 
 /// Shared helper: validates options against the instance (k positive and

@@ -8,9 +8,9 @@
 
 namespace ses::core {
 
-util::Result<SolverResult> TopKSolver::Solve(const SesInstance& instance,
-                                             const SolverOptions& options) {
-  SES_RETURN_IF_ERROR(ValidateSolverOptions(instance, options));
+util::Result<SolverResult> TopKSolver::DoSolve(const SesInstance& instance,
+                                               const SolverOptions& options,
+                                               const SolveContext& context) {
   util::WallTimer timer;
 
   AttendanceModel model(instance);
@@ -20,6 +20,7 @@ util::Result<SolverResult> TopKSolver::Solve(const SesInstance& instance,
     model.Apply(a.event, a.interval);
   }
   SolverStats stats;
+  util::Status termination;
 
   struct Entry {
     EventIndex event;
@@ -30,16 +31,29 @@ util::Result<SolverResult> TopKSolver::Solve(const SesInstance& instance,
   entries.reserve(static_cast<size_t>(instance.num_events()) *
                   instance.num_intervals());
   for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+    if (context.CheckStop(&termination)) break;
     for (EventIndex e = 0; e < instance.num_events(); ++e) {
       if (model.schedule().IsAssigned(e)) continue;  // warm-started
       entries.push_back({e, t, model.MarginalGain(e, t)});
     }
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) { return a.score > b.score; });
+  // Sorting and walking only happen on a complete ranking (a truncated
+  // one would be biased toward low intervals, and sorting it after the
+  // budget expired would be pure wasted work).
+  if (termination.ok()) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.score > b.score;
+              });
+  }
 
+  // Entries are cheap to skip, so the context is polled on a stride.
   const size_t k = static_cast<size_t>(options.k);
+  uint64_t polls = 0;
   for (const Entry& entry : entries) {
+    if (!termination.ok()) break;
+    if ((polls++ & 63) == 0 && context.CheckStop(&termination)) break;
+    context.CountWork(1);
     if (model.schedule().size() >= k) break;
     ++stats.pops;
     if (!model.CanAssign(entry.event, entry.interval)) continue;
@@ -54,6 +68,7 @@ util::Result<SolverResult> TopKSolver::Solve(const SesInstance& instance,
   result.wall_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   result.solver = std::string(name());
+  result.termination = std::move(termination);
   return result;
 }
 

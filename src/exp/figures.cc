@@ -16,8 +16,9 @@ std::string RenderFigure(const std::string& title, const std::string& x_label,
   // x -> solver -> value
   std::map<int64_t, std::map<std::string, double>> grid;
   for (const RunRecord& record : records) {
-    const double value =
-        metric == Metric::kUtility ? record.utility : record.seconds;
+    const double value = metric == Metric::kUtility
+                             ? record.utility
+                             : record.measurement.seconds;
     grid[record.x][record.solver] = value;
   }
 
@@ -46,21 +47,24 @@ std::string RenderFigure(const std::string& title, const std::string& x_label,
 }
 
 util::Status WriteRecordsCsv(const std::string& path,
-                             const std::vector<RunRecord>& records) {
+                             const std::vector<RunRecord>& records,
+                             CsvTiming timing) {
+  util::CsvRow header{"x", "solver", "utility", "gain_evaluations",
+                      "assignments"};
+  if (timing == CsvTiming::kAppend) header.push_back("seconds");
   std::vector<util::CsvRow> rows;
   rows.reserve(records.size());
   for (const RunRecord& record : records) {
-    rows.push_back({std::to_string(record.x), record.solver,
-                    util::StrFormat("%.6f", record.utility),
-                    util::StrFormat("%.6f", record.seconds),
-                    std::to_string(record.gain_evaluations),
-                    std::to_string(record.assignments)});
+    util::CsvRow row{std::to_string(record.x), record.solver,
+                     util::StrFormat("%.6f", record.utility),
+                     std::to_string(record.gain_evaluations),
+                     std::to_string(record.assignments)};
+    if (timing == CsvTiming::kAppend) {
+      row.push_back(util::StrFormat("%.6f", record.measurement.seconds));
+    }
+    rows.push_back(std::move(row));
   }
-  return util::WriteCsvFile(
-      path,
-      {"x", "solver", "utility", "seconds", "gain_evaluations",
-       "assignments"},
-      rows);
+  return util::WriteCsvFile(path, header, rows);
 }
 
 }  // namespace ses::exp

@@ -28,9 +28,22 @@ std::string RenderFigure(const std::string& title, const std::string& x_label,
                          const std::vector<RunRecord>& records,
                          Metric metric);
 
-/// Writes the records to CSV: x,solver,utility,seconds,gain_evaluations.
+/// Whether a records CSV includes the wall-clock column group.
+enum class CsvTiming {
+  /// Deterministic columns only — two runs of the same sweep produce
+  /// byte-identical files regardless of worker count.
+  kOmit,
+  /// Appends the `seconds` column after the comparable columns.
+  kAppend,
+};
+
+/// Writes the records to CSV. The comparable column group
+/// (x,solver,utility,gain_evaluations,assignments) always comes first;
+/// with CsvTiming::kAppend the non-deterministic `seconds` measurement
+/// is appended as the trailing column.
 util::Status WriteRecordsCsv(const std::string& path,
-                             const std::vector<RunRecord>& records);
+                             const std::vector<RunRecord>& records,
+                             CsvTiming timing = CsvTiming::kAppend);
 
 }  // namespace ses::exp
 

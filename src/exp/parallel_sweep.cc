@@ -81,7 +81,10 @@ util::Result<std::vector<RunRecord>> RunSweepSerial(
   for (const SweepPoint& point : points) {
     auto instance = factory.Build(point.config);
     if (!instance.ok()) return instance.status();
-    auto rows = RunSolvers(*instance, solvers, point.options, point.x);
+    // Fully serial — the point loop above and the solvers within each
+    // point — so --jobs=1 timings stay uncontended.
+    auto rows = RunSolvers(*instance, solvers, point.options, point.x,
+                           SolverExecution::kSequential);
     if (!rows.ok()) return rows.status();
     records.insert(records.end(), std::make_move_iterator(rows->begin()),
                    std::make_move_iterator(rows->end()));

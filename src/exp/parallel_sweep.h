@@ -7,8 +7,8 @@
 ///
 /// Determinism contract: for a fixed point list, Run() returns exactly
 /// the records a serial loop over RunSolvers would produce, in the same
-/// order, regardless of worker count. Every field of every RunRecord is
-/// reproducible except `seconds`, which is a wall-clock measurement.
+/// order, regardless of worker count. Every comparable RunRecord field
+/// is reproducible; only the wall-clock `measurement` differs.
 /// Each point carries its own workload seed and solver seed, so no state
 /// leaks between points; instance construction goes through the (not
 /// thread-safe) WorkloadFactory under a mutex, while the solver runs —

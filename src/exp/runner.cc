@@ -1,35 +1,69 @@
 #include "exp/runner.h"
 
-#include "core/registry.h"
+#include "api/scheduler.h"
 #include "core/validate.h"
 #include "util/logging.h"
 
 namespace ses::exp {
 
+namespace {
+
+/// One scheduler for the whole process: RunSolvers is called from many
+/// sweep workers at once, and they should share one solver pool instead
+/// of each spawning their own. Leaked on purpose so worker shutdown
+/// never races static destruction at exit.
+api::Scheduler& SharedScheduler() {
+  static api::Scheduler* scheduler = new api::Scheduler();
+  return *scheduler;
+}
+
+}  // namespace
+
 util::Result<std::vector<RunRecord>> RunSolvers(
     const core::SesInstance& instance,
     const std::vector<std::string>& solver_names,
-    const core::SolverOptions& options, int64_t x) {
-  std::vector<RunRecord> records;
-  records.reserve(solver_names.size());
+    const core::SolverOptions& options, int64_t x,
+    SolverExecution execution) {
+  std::vector<api::SolveRequest> requests;
+  requests.reserve(solver_names.size());
   for (const std::string& name : solver_names) {
-    auto solver = core::MakeSolver(name);
-    if (!solver.ok()) return solver.status();
-    auto result = solver.value()->Solve(instance, options);
-    if (!result.ok()) return result.status();
+    api::SolveRequest request;
+    request.solver = name;
+    request.options = options;
+    requests.push_back(std::move(request));
+  }
+
+  std::vector<api::SolveResponse> responses;
+  if (execution == SolverExecution::kParallel) {
+    responses = SharedScheduler().SolveBatch(instance, requests);
+  } else {
+    // Timing-clean reference: inline on this thread, no pool involved.
+    responses.reserve(requests.size());
+    for (const api::SolveRequest& request : requests) {
+      responses.push_back(SharedScheduler().Solve(instance, request));
+    }
+  }
+
+  std::vector<RunRecord> records;
+  records.reserve(responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    api::SolveResponse& response = responses[i];
+    // Experiment requests carry no deadline or token, so any non-OK
+    // status is a hard failure, never an interrupted run.
+    if (!response.status.ok()) return response.status;
 
     // Every schedule a solver returns must be feasible; fail loudly
     // otherwise rather than reporting a bogus utility.
     SES_RETURN_IF_ERROR(
-        core::ValidateAssignments(instance, result.value().assignments));
+        core::ValidateAssignments(instance, response.schedule));
 
     RunRecord record;
-    record.solver = name;
+    record.solver = solver_names[i];
     record.x = x;
-    record.utility = result.value().utility;
-    record.seconds = result.value().wall_seconds;
-    record.gain_evaluations = result.value().stats.gain_evaluations;
-    record.assignments = result.value().assignments.size();
+    record.utility = response.utility;
+    record.gain_evaluations = response.stats.gain_evaluations;
+    record.assignments = response.schedule.size();
+    record.measurement.seconds = response.wall_seconds;
     records.push_back(std::move(record));
   }
   return records;

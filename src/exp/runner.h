@@ -5,6 +5,10 @@
 /// Experiment runner: executes a set of solvers on workload sweep points
 /// and collects per-run measurements — the machinery behind every figure
 /// reproduction in bench/.
+///
+/// RunSolvers is a thin adapter over api::Scheduler::SolveBatch: the
+/// per-point solver loop fans out across a process-shared scheduler pool
+/// and the records come back in solver-list order.
 
 #include <string>
 #include <vector>
@@ -16,24 +20,48 @@
 
 namespace ses::exp {
 
-/// One measurement row.
+/// Wall-clock measurement of one run. Split from RunRecord's comparable
+/// fields: `seconds` is the only value that differs between reruns and
+/// worker counts, so keeping it out of the comparable struct lets CSV
+/// diffs and record comparisons be byte-exact.
+struct RunMeasurement {
+  double seconds = 0.0;
+};
+
+/// One measurement row. Every direct field is deterministic — identical
+/// across serial/parallel execution and across reruns; the wall-clock
+/// part lives in `measurement`.
 struct RunRecord {
   std::string solver;
   /// The sweep coordinate (k or |T|, depending on the experiment).
   int64_t x = 0;
   double utility = 0.0;
-  double seconds = 0.0;
   uint64_t gain_evaluations = 0;
   size_t assignments = 0;
+  /// Non-comparable wall-clock measurement.
+  RunMeasurement measurement;
+};
+
+/// How RunSolvers executes the solvers of one sweep point.
+enum class SolverExecution {
+  /// Fan out across the shared api::Scheduler pool (SolveBatch). The
+  /// comparable record fields are unaffected, but per-solver
+  /// `measurement.seconds` is taken under multi-core contention.
+  kParallel,
+  /// One after another on the calling thread — the timing-clean
+  /// reference path; RunSweepSerial (--jobs=1) uses this.
+  kSequential,
 };
 
 /// Runs each named solver once on \p instance with \p options, validating
 /// every returned schedule. \p x tags the records with the sweep
-/// coordinate.
+/// coordinate; records are returned in solver-list order regardless of
+/// \p execution.
 util::Result<std::vector<RunRecord>> RunSolvers(
     const core::SesInstance& instance,
     const std::vector<std::string>& solver_names,
-    const core::SolverOptions& options, int64_t x);
+    const core::SolverOptions& options, int64_t x,
+    SolverExecution execution = SolverExecution::kParallel);
 
 }  // namespace ses::exp
 

@@ -45,7 +45,7 @@ util::Result<std::vector<SweepCell>> RunRepeatedSweep(
   for (const RunRecord& record : *records) {
     auto& cell = samples[{record.x, record.solver}];
     cell.first.push_back(record.utility);
-    cell.second.push_back(record.seconds);
+    cell.second.push_back(record.measurement.seconds);
   }
 
   std::vector<SweepCell> cells;

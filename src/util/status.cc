@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kInfeasible:
       return "INFEASIBLE";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,8 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInfeasible,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable, human-readable name for \p code ("OK",
@@ -81,6 +83,12 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status carries no error.

@@ -1,0 +1,262 @@
+#include "api/scheduler.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/validate.h"
+#include "tests/test_util.h"
+
+namespace ses::api {
+namespace {
+
+core::SesInstance MediumInstance(uint64_t seed = 42) {
+  test::RandomInstanceConfig config;
+  config.seed = seed;
+  config.num_users = 60;
+  config.num_events = 20;
+  config.num_intervals = 8;
+  config.theta = 15.0;
+  return test::MakeRandomInstance(config);
+}
+
+SolveRequest RequestFor(const std::string& solver, int64_t k = 5,
+                        uint64_t seed = 1) {
+  SolveRequest request;
+  request.solver = solver;
+  request.options.k = k;
+  request.options.seed = seed;
+  return request;
+}
+
+// --- Up-front validation -------------------------------------------------
+
+TEST(SchedulerValidateTest, UnknownSolverIsNotFoundAndListsCatalog) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  const util::Status status =
+      scheduler.Validate(instance, RequestFor("no-such-solver"));
+  EXPECT_EQ(status.code(), util::StatusCode::kNotFound);
+  // The message must name the valid choices.
+  for (const std::string& name : ListSolvers()) {
+    EXPECT_NE(status.message().find(name), std::string::npos) << name;
+  }
+}
+
+TEST(SchedulerValidateTest, RejectsInfeasibleK) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  EXPECT_EQ(scheduler.Validate(instance, RequestFor("grd", 0)).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(scheduler.Validate(instance, RequestFor("grd", 10000)).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(SchedulerValidateTest, RejectsBadWarmStart) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  SolveRequest request = RequestFor("grd", 3);
+  // Out-of-range event index can never be part of a feasible schedule.
+  request.options.warm_start.push_back(
+      {/*event=*/instance.num_events() + 7, /*interval=*/0});
+  EXPECT_FALSE(scheduler.Validate(instance, request).ok());
+}
+
+TEST(SchedulerSolveTest, UnknownSolverResponseCarriesError) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  const SolveResponse response =
+      scheduler.Solve(instance, RequestFor("bogus"));
+  EXPECT_EQ(response.status.code(), util::StatusCode::kNotFound);
+  EXPECT_FALSE(response.has_schedule());
+  EXPECT_TRUE(response.schedule.empty());
+}
+
+// --- Synchronous solve ---------------------------------------------------
+
+TEST(SchedulerSolveTest, SolvesAndReportsUtility) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  const SolveResponse response =
+      scheduler.Solve(instance, RequestFor("grd"));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.has_schedule());
+  EXPECT_EQ(response.schedule.size(), 5u);
+  EXPECT_GT(response.utility, 0.0);
+  EXPECT_EQ(response.solver, "grd");
+  EXPECT_TRUE(
+      core::ValidateAssignments(instance, response.schedule, 5).ok());
+}
+
+// --- Deadlines -----------------------------------------------------------
+
+TEST(SchedulerDeadlineTest, ZeroBudgetReturnsFeasiblePartialEverySolver) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  for (const std::string& name : ListSolvers()) {
+    SCOPED_TRACE(name);
+    SolveRequest request = RequestFor(name);
+    request.deadline = core::Deadline::After(0.0);
+    const SolveResponse response = scheduler.Solve(instance, request);
+    EXPECT_EQ(response.status.code(),
+              util::StatusCode::kDeadlineExceeded);
+    EXPECT_TRUE(response.has_schedule());
+    // Whatever was assembled before the deadline must be feasible (an
+    // empty schedule is fine).
+    EXPECT_TRUE(
+        core::ValidateAssignments(instance, response.schedule).ok());
+    EXPECT_LE(response.schedule.size(), 5u);
+  }
+}
+
+TEST(SchedulerDeadlineTest, UnlimitedDeadlineNeverExpires) {
+  EXPECT_FALSE(core::Deadline().Expired());
+  EXPECT_FALSE(core::Deadline::Unlimited().Expired());
+  EXPECT_TRUE(core::Deadline::After(0.0).Expired());
+  EXPECT_TRUE(core::Deadline::After(-1.0).Expired());
+}
+
+// --- Cancellation --------------------------------------------------------
+
+TEST(SchedulerCancelTest, PreCancelledTokenReturnsCancelled) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  for (const std::string& name : ListSolvers()) {
+    SCOPED_TRACE(name);
+    SolveRequest request = RequestFor(name);
+    request.cancel = std::make_shared<core::CancelToken>();
+    request.cancel->Cancel();
+    const SolveResponse response = scheduler.Solve(instance, request);
+    EXPECT_EQ(response.status.code(), util::StatusCode::kCancelled);
+    EXPECT_TRUE(response.has_schedule());
+    EXPECT_TRUE(
+        core::ValidateAssignments(instance, response.schedule).ok());
+  }
+}
+
+TEST(SchedulerCancelTest, CancelMidSolveThroughPendingSolve) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  // An annealing run sized to take minutes unless cancelled: the test
+  // passes quickly precisely because cancellation interrupts it.
+  SolveRequest request = RequestFor("anneal");
+  request.options.max_iterations = 4'000'000'000LL;
+  request.options.cooling = 0.9999999;
+  PendingSolve pending = scheduler.Submit(instance, std::move(request));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  pending.Cancel();
+  const SolveResponse response = pending.Get();
+  EXPECT_EQ(response.status.code(), util::StatusCode::kCancelled);
+  EXPECT_TRUE(response.has_schedule());
+  EXPECT_TRUE(
+      core::ValidateAssignments(instance, response.schedule).ok());
+}
+
+// --- Async submission ----------------------------------------------------
+
+TEST(SchedulerSubmitTest, InvalidRequestResolvesImmediately) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  PendingSolve pending =
+      scheduler.Submit(instance, RequestFor("not-a-solver"));
+  const SolveResponse response = pending.Get();
+  EXPECT_EQ(response.status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(SchedulerSubmitTest, ResolvesWithSameResultAsSyncSolve) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 2});
+  const SolveResponse sync =
+      scheduler.Solve(instance, RequestFor("lazy"));
+  PendingSolve pending = scheduler.Submit(instance, RequestFor("lazy"));
+  const SolveResponse async = pending.Get();
+  ASSERT_TRUE(sync.status.ok());
+  ASSERT_TRUE(async.status.ok());
+  EXPECT_EQ(sync.schedule, async.schedule);
+  EXPECT_EQ(sync.utility, async.utility);
+}
+
+// --- Batch submission ----------------------------------------------------
+
+TEST(SchedulerBatchTest, DeterministicOrderUnderManyWorkers) {
+  const core::SesInstance instance = MediumInstance();
+  // jobs > 1: completion order is up to the pool, result order is not.
+  Scheduler scheduler(SchedulerOptions{.num_threads = 4});
+
+  std::vector<SolveRequest> requests;
+  const std::vector<std::string> names{"grd", "lazy", "bestfit", "top",
+                                       "rand"};
+  for (uint64_t seed : {1ull, 2ull}) {
+    for (const std::string& name : names) {
+      requests.push_back(RequestFor(name, 5, seed));
+    }
+  }
+
+  const std::vector<SolveResponse> batch =
+      scheduler.SolveBatch(instance, requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(batch[i].status.ok()) << batch[i].status.ToString();
+    // Responses come back in request order...
+    EXPECT_EQ(batch[i].solver, requests[i].solver);
+    // ...and match a synchronous run of the same request bitwise.
+    const SolveResponse solo = scheduler.Solve(instance, requests[i]);
+    EXPECT_EQ(batch[i].schedule, solo.schedule);
+    EXPECT_EQ(batch[i].utility, solo.utility);
+  }
+
+  // A rerun of the same batch is reproducible.
+  const std::vector<SolveResponse> again =
+      scheduler.SolveBatch(instance, requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(batch[i].schedule, again[i].schedule);
+    EXPECT_EQ(batch[i].utility, again[i].utility);
+  }
+}
+
+TEST(SchedulerBatchTest, InvalidRequestFailsOnlyItsSlot) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 2});
+  const std::vector<SolveResponse> responses = scheduler.SolveBatch(
+      instance, {RequestFor("grd"), RequestFor("bogus"), RequestFor("rand")});
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_EQ(responses[1].status.code(), util::StatusCode::kNotFound);
+  EXPECT_TRUE(responses[2].status.ok());
+}
+
+// --- Work-counter hook ---------------------------------------------------
+
+TEST(SolveContextTest, WorkCounterHookTicks) {
+  const core::SesInstance instance = MediumInstance();
+  std::atomic<uint64_t> counter{0};
+
+  core::GreedySolver grd;
+  core::SolverOptions options;
+  options.k = 5;
+  core::SolveContext context;
+  context.work_counter = &counter;
+  auto result = grd.Solve(instance, options, context);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->termination.ok());
+  // One unit per selection iteration at minimum.
+  EXPECT_GE(counter.load(), 5u);
+}
+
+TEST(SolveContextTest, ApiRequestForwardsWorkCounter) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  std::atomic<uint64_t> counter{0};
+  SolveRequest request = RequestFor("rand");
+  request.work_counter = &counter;
+  const SolveResponse response = scheduler.Solve(instance, request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_GT(counter.load(), 0u);
+}
+
+}  // namespace
+}  // namespace ses::api

@@ -28,7 +28,7 @@ TEST(RunnerTest, ProducesOneRecordPerSolver) {
   for (const RunRecord& record : *records) {
     EXPECT_EQ(record.x, 3);
     EXPECT_GE(record.utility, 0.0);
-    EXPECT_GE(record.seconds, 0.0);
+    EXPECT_GE(record.measurement.seconds, 0.0);
     EXPECT_EQ(record.assignments, 3u);
   }
 }
@@ -43,9 +43,9 @@ TEST(RunnerTest, UnknownSolverFails) {
 
 TEST(FiguresTest, RenderContainsSolversAndValues) {
   std::vector<RunRecord> records;
-  records.push_back({"grd", 100, 123.45, 0.5, 10, 100});
-  records.push_back({"top", 100, 67.89, 0.1, 5, 100});
-  records.push_back({"grd", 200, 222.22, 1.5, 20, 200});
+  records.push_back({"grd", 100, 123.45, 10, 100, {0.5}});
+  records.push_back({"top", 100, 67.89, 5, 100, {0.1}});
+  records.push_back({"grd", 200, 222.22, 20, 200, {1.5}});
 
   const std::string table = RenderFigure(
       "Fig 1a", "k", {"grd", "top"}, records, Metric::kUtility);
@@ -60,7 +60,7 @@ TEST(FiguresTest, RenderContainsSolversAndValues) {
 
 TEST(FiguresTest, RenderSecondsMetric) {
   std::vector<RunRecord> records;
-  records.push_back({"grd", 100, 123.45, 0.5, 10, 100});
+  records.push_back({"grd", 100, 123.45, 10, 100, {0.5}});
   const std::string table =
       RenderFigure("Fig 1b", "k", {"grd"}, records, Metric::kSeconds);
   EXPECT_NE(table.find("0.5000"), std::string::npos);
@@ -70,7 +70,7 @@ TEST(FiguresTest, CsvRoundTrip) {
   const auto path = std::filesystem::temp_directory_path() /
                     ("ses_records_" + std::to_string(::getpid()) + ".csv");
   std::vector<RunRecord> records;
-  records.push_back({"grd", 100, 1.5, 0.25, 42, 100});
+  records.push_back({"grd", 100, 1.5, 42, 100, {0.25}});
   ASSERT_TRUE(WriteRecordsCsv(path.string(), records).ok());
 
   util::CsvRow header;

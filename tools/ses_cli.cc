@@ -10,8 +10,11 @@
 ///       Builds the paper's Section IV-A workload from a dataset and
 ///       persists the SES instance.
 ///
-///   solve --instance=DIR [--solver=grd --k=N --seed=N]
-///       Loads an instance, runs a solver, prints the schedule summary.
+///   solve --instance=DIR [--solver=grd --k=N --seed=N
+///         --budget-seconds=X]
+///       Loads an instance, runs a solver through ses::api::Scheduler,
+///       prints the schedule summary. With a budget, an expired deadline
+///       still prints the best schedule found so far.
 ///
 ///   info --instance=DIR | --data=DIR
 ///       Prints shape statistics for an instance or a dataset.
@@ -20,9 +23,9 @@
 #include <filesystem>
 #include <string>
 
+#include "api/scheduler.h"
 #include "core/instance_io.h"
 #include "core/objective.h"
-#include "core/registry.h"
 #include "core/validate.h"
 #include "ebsn/dataset.h"
 #include "ebsn/dataset_stats.h"
@@ -129,12 +132,16 @@ int CmdSolve(int argc, const char* const* argv) {
   std::string solver_name = "grd";
   int64_t k = 100;
   int64_t seed = 1;
+  double budget_seconds = 0.0;
   bool print_schedule = false;
   util::FlagSet flags("ses_cli solve");
   flags.AddString("instance", &instance_dir, "instance directory");
-  flags.AddString("solver", &solver_name, "grd|lazy|top|rand|ls|anneal|exact");
+  flags.AddString("solver", &solver_name,
+                  "solver name (see `ses_cli solve --solver=help`)");
   flags.AddInt("k", &k, "schedule size");
   flags.AddInt("seed", &seed, "solver seed");
+  flags.AddDouble("budget-seconds", &budget_seconds,
+                  "wall-clock budget; 0 = unlimited");
   flags.AddBool("print-schedule", &print_schedule,
                 "print every assignment");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
@@ -146,26 +153,47 @@ int CmdSolve(int argc, const char* const* argv) {
   auto instance = core::LoadInstance(instance_dir);
   if (!instance.ok()) return Fail(instance.status());
 
-  auto solver = core::MakeSolver(solver_name);
-  if (!solver.ok()) return Fail(solver.status());
-  core::SolverOptions options;
-  options.k = k;
-  options.seed = static_cast<uint64_t>(seed);
-  auto result = solver.value()->Solve(*instance, options);
-  if (!result.ok()) return Fail(result.status());
-  if (auto status =
-          core::ValidateAssignments(*instance, result->assignments);
+  api::Scheduler scheduler(api::SchedulerOptions{.num_threads = 1});
+  api::SolveRequest request;
+  request.solver = solver_name;
+  request.options.k = k;
+  request.options.seed = static_cast<uint64_t>(seed);
+  if (budget_seconds > 0.0) {
+    request.deadline = core::Deadline::After(budget_seconds);
+  }
+  if (auto status = scheduler.Validate(*instance, request); !status.ok()) {
+    if (status.code() == util::StatusCode::kNotFound) {
+      // Unknown solver: spell out the catalog so the fix is one retry.
+      std::fprintf(stderr, "error: unknown solver '%s'\nvalid solvers:\n",
+                   solver_name.c_str());
+      for (const std::string& name : api::ListSolvers()) {
+        std::fprintf(stderr, "  %s\n", name.c_str());
+      }
+      return 1;
+    }
+    return Fail(status);
+  }
+
+  const api::SolveResponse response = scheduler.Solve(*instance, request);
+  if (!response.has_schedule()) return Fail(response.status);
+  if (auto status = core::ValidateAssignments(*instance, response.schedule);
       !status.ok()) {
     return Fail(status);
   }
 
+  if (!response.status.ok()) {
+    // Deadline expired (or cancelled): the schedule below is the best
+    // found within the budget, not the solver's final answer.
+    std::printf("note: %s; reporting best schedule found so far\n",
+                response.status.ToString().c_str());
+  }
   std::printf("solver=%s k=%zu utility=%.3f seconds=%.4f evaluations=%llu\n",
-              result->solver.c_str(), result->assignments.size(),
-              result->utility, result->wall_seconds,
+              response.solver.c_str(), response.schedule.size(),
+              response.utility, response.wall_seconds,
               static_cast<unsigned long long>(
-                  result->stats.gain_evaluations));
+                  response.stats.gain_evaluations));
   if (print_schedule) {
-    for (const core::Assignment& a : result->assignments) {
+    for (const core::Assignment& a : response.schedule) {
       std::printf("  interval %u <- event %u\n", a.interval, a.event);
     }
   }
