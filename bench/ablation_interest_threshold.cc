@@ -57,7 +57,8 @@ int main(int argc, char** argv) {
         return config;
       },
       {"grd", "rand"}, /*repetitions=*/3,
-      static_cast<uint64_t>(args.seed), static_cast<size_t>(args.jobs));
+      static_cast<uint64_t>(args.seed), static_cast<size_t>(args.jobs),
+      args.solver_threads);
   SES_CHECK(cells.ok()) << cells.status().ToString();
 
   std::fputs(exp::RenderSweepTable(

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   // numbers stay comparable across benches.
   const std::vector<std::string> solvers{"grd", "lazy"};
   const std::vector<exp::RunRecord> rows = bench::RunKSweep(
-      factory, scale, solvers, static_cast<uint64_t>(args.seed), args.jobs);
+      factory, scale, solvers, static_cast<uint64_t>(args.seed), args.jobs,
+      args.solver_threads);
   for (size_t i = 0; i < scale.k_sweep.size(); ++i) {
     const int64_t k = scale.k_sweep[i];
     // RunSolvers emits solvers.size() records per point, in solver-list

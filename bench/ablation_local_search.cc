@@ -49,8 +49,11 @@ int main(int argc, char** argv) {
   };
 
   // The variants share one scheduler; each runs synchronously so the
-  // seconds column stays uncontended.
-  api::Scheduler scheduler(api::SchedulerOptions{.num_threads = 1});
+  // seconds column stays uncontended. --solver-threads sizes the pool
+  // that grd (and greedy-seeded ls) shard score generation across
+  // (core-capped via the shared ForSolverThreads policy).
+  api::Scheduler scheduler(
+      api::SchedulerOptions::ForSolverThreads(args.solver_threads));
   std::printf("%14s %14s %12s %14s\n", "variant", "utility", "seconds",
               "moves-accepted");
   for (const Variant& variant : variants) {
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
     request.solver = variant.solver;
     request.options.k = scale.default_k;
     request.options.seed = static_cast<uint64_t>(args.seed);
+    request.options.threads = args.solver_threads;
     request.options.base_solver = variant.base;
     request.options.max_iterations = 20000;
     const api::SolveResponse response = scheduler.Solve(*instance, request);

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
         return config;
       },
       ladder, /*repetitions=*/3, static_cast<uint64_t>(args.seed),
-      static_cast<size_t>(args.jobs));
+      static_cast<size_t>(args.jobs), args.solver_threads);
   SES_CHECK(cells.ok()) << cells.status().ToString();
 
   std::fputs(exp::RenderSweepTable("Solver ladder: utility", "k", ladder,

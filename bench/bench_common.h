@@ -87,6 +87,10 @@ struct FigureArgs {
   int64_t seed = 7;
   /// Sweep-point parallelism: 0 = hardware concurrency, 1 = serial.
   int64_t jobs = 0;
+  /// Intra-solver score-generation shards for grd/lazy (1 = serial,
+  /// 0 = all cores). Records and CSVs are bit-identical at any value;
+  /// only the wall-clock seconds change.
+  int64_t solver_threads = 1;
 };
 
 /// Parses the common flags; exits the process with usage on error.
@@ -109,10 +113,15 @@ inline FigureArgs ParseFigureArgs(const char* program, int argc,
   flags.AddInt("seed", &args.seed, "workload seed");
   flags.AddInt("jobs", &args.jobs,
                "worker threads (0 = all cores, 1 = serial)");
+  flags.AddInt("solver-threads", &args.solver_threads,
+               "grd/lazy score-generation shards (1 = serial, 0 = all "
+               "cores); records stay bit-identical");
   auto status = flags.Parse(argc, argv);
-  if (!status.ok() || args.jobs < 0) {
-    SES_LOG(kError) << (status.ok() ? "--jobs must be >= 0"
-                                    : status.ToString());
+  if (!status.ok() || args.jobs < 0 || args.solver_threads < 0) {
+    SES_LOG(kError) << (!status.ok()        ? status.ToString()
+                        : args.jobs < 0
+                            ? std::string("--jobs must be >= 0")
+                            : std::string("--solver-threads must be >= 0"));
     std::fputs(flags.Usage().c_str(), stderr);
     std::exit(2);
   }
@@ -147,7 +156,7 @@ inline std::vector<exp::RunRecord> RunSweepPoints(
 inline std::vector<exp::RunRecord> RunKSweep(
     const exp::WorkloadFactory& factory, const BenchScale& scale,
     const std::vector<std::string>& solvers, uint64_t seed,
-    int64_t jobs) {
+    int64_t jobs, int64_t solver_threads = 1) {
   std::vector<exp::SweepPoint> points;
   points.reserve(scale.k_sweep.size());
   for (int64_t k : scale.k_sweep) {
@@ -156,6 +165,7 @@ inline std::vector<exp::RunRecord> RunKSweep(
     point.config.seed = seed + static_cast<uint64_t>(k);
     point.options.k = k;
     point.options.seed = seed;
+    point.options.threads = solver_threads;
     point.x = k;
     points.push_back(std::move(point));
   }
@@ -166,7 +176,7 @@ inline std::vector<exp::RunRecord> RunKSweep(
 inline std::vector<exp::RunRecord> RunTSweep(
     const exp::WorkloadFactory& factory, const BenchScale& scale,
     const std::vector<std::string>& solvers, uint64_t seed,
-    int64_t jobs) {
+    int64_t jobs, int64_t solver_threads = 1) {
   std::vector<exp::SweepPoint> points;
   points.reserve(scale.t_over_k_tenths.size());
   for (int64_t tenths : scale.t_over_k_tenths) {
@@ -178,6 +188,7 @@ inline std::vector<exp::RunRecord> RunTSweep(
     point.config.seed = seed + static_cast<uint64_t>(intervals);
     point.options.k = scale.default_k;
     point.options.seed = seed;
+    point.options.threads = solver_threads;
     point.x = intervals;
     points.push_back(std::move(point));
   }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> solvers{"grd", "top", "rand"};
   const auto records = bench::RunKSweep(factory, scale, solvers,
                                         static_cast<uint64_t>(args.seed),
-                                        args.jobs);
+                                        args.jobs, args.solver_threads);
   bench::EmitFigure(args, "Fig 1a: Utility vs k", "k", solvers, records,
                     exp::Metric::kUtility);
   return 0;

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> solvers{"grd", "top", "rand"};
   const auto records = bench::RunTSweep(factory, scale, solvers,
                                         static_cast<uint64_t>(args.seed),
-                                        args.jobs);
+                                        args.jobs, args.solver_threads);
   bench::EmitFigure(args, "Fig 1c: Utility vs |T|", "|T|", solvers, records,
                     exp::Metric::kUtility);
   return 0;

@@ -1,5 +1,7 @@
 #include "api/scheduler.h"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "core/registry.h"
@@ -21,6 +23,17 @@ util::Status UnknownSolverStatus(const std::string& name) {
 }
 
 }  // namespace
+
+SchedulerOptions SchedulerOptions::ForSolverThreads(int64_t solver_threads) {
+  SchedulerOptions options;
+  if (solver_threads > 0) {
+    const size_t hardware =
+        std::max<size_t>(1, std::thread::hardware_concurrency());
+    options.num_threads =
+        std::min(static_cast<size_t>(solver_threads), hardware);
+  }
+  return options;
+}
 
 Scheduler::Scheduler(const SchedulerOptions& options)
     : pool_(options.num_threads) {}
@@ -48,7 +61,20 @@ SolveResponse Scheduler::RunRequest(const core::SesInstance& instance,
   context.cancel = request.cancel;
   context.work_counter = request.work_counter;
 
-  auto result = (*solver)->Solve(instance, request.options, context);
+  // Intra-solver score-generation shards run on the scheduler's own pool:
+  // ThreadPool::ParallelFor is worker-re-entrant, so a solver that was
+  // itself fanned out by Submit/SolveBatch shares the pool with its
+  // shards instead of spawning a transient one per request. The options
+  // copy (warm_start included) only happens when a pool is actually
+  // lent; the common serial request solves straight off the reference.
+  auto result = [&] {
+    if (request.options.pool == nullptr && request.options.threads != 1) {
+      core::SolverOptions options = request.options;
+      options.pool = &pool_;
+      return (*solver)->Solve(instance, options, context);
+    }
+    return (*solver)->Solve(instance, request.options, context);
+  }();
   if (!result.ok()) {
     response.status = result.status();
     return response;

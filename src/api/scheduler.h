@@ -47,7 +47,10 @@ struct SolveRequest {
   /// "exact", "ls", "anneal"); see ListSolvers().
   std::string solver;
 
-  /// Solver tuning knobs (k, seed, warm start, ...).
+  /// Solver tuning knobs (k, seed, warm start, ...). Setting
+  /// options.threads != 1 shards GRD/lazy score generation across the
+  /// scheduler's own pool (results stay bit-identical; see
+  /// SolverOptions::threads).
   core::SolverOptions options;
 
   /// Wall-clock budget; unlimited by default. An expired deadline turns
@@ -103,6 +106,13 @@ struct SolveResponse {
 struct SchedulerOptions {
   /// Worker threads for Submit/SolveBatch; 0 = hardware concurrency.
   size_t num_threads = 0;
+
+  /// Pool sizing for a `--solver-threads`-style knob (the CLI and the
+  /// benches share this policy): 0 keeps the all-cores default, N > 0
+  /// is capped at the core count — workers beyond the cores only add
+  /// spawn cost, and an absurd flag value must not translate into that
+  /// many OS threads.
+  static SchedulerOptions ForSolverThreads(int64_t solver_threads);
 };
 
 /// Handle to an in-flight asynchronous solve.
@@ -180,7 +190,10 @@ class Scheduler {
   SolveResponse RunRequest(const core::SesInstance& instance,
                            const SolveRequest& request) const;
 
-  util::ThreadPool pool_;
+  // Mutable: the pool is a thread-safe execution resource, and const
+  // entry points (Solve) lend it to solvers whose options ask for
+  // intra-solver parallelism (SolverOptions::threads != 1).
+  mutable util::ThreadPool pool_;
 };
 
 /// All registered solver names, in presentation order (forwarded from

@@ -1,6 +1,7 @@
 #include "core/attendance.h"
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace ses::core {
 
@@ -146,6 +147,19 @@ void AttendanceModel::Unapply(EventIndex e) {
   SES_CHECK(schedule_.Unassign(e).ok());
   TouchLoaded(e, -1.0);
   total_utility_ -= loss;
+}
+
+util::Status ApplyWarmStart(AttendanceModel& model,
+                            std::span<const Assignment> warm_start) {
+  for (const Assignment& a : warm_start) {
+    if (!model.CanAssign(a.event, a.interval)) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "warm-start assignment of event %u to interval %u is infeasible",
+          a.event, a.interval));
+    }
+    model.Apply(a.event, a.interval);
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace ses::core

@@ -45,11 +45,13 @@
 /// (tests/core_sigma_cache_test.cc pins this).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/instance.h"
 #include "core/schedule.h"
 #include "core/types.h"
+#include "util/status.h"
 
 namespace ses::core {
 
@@ -125,6 +127,14 @@ class AttendanceModel {
   double total_utility_ = 0.0;
   uint64_t gain_evaluations_ = 0;
 };
+
+/// Applies a warm start to a freshly constructed model. Returns
+/// InvalidArgument (instead of aborting) when an assignment is not
+/// applicable — the typed-error counterpart of the api::Scheduler
+/// validation path for solvers invoked directly through Solver::Solve.
+/// Warm-start Apply calls do not count as gain evaluations.
+util::Status ApplyWarmStart(AttendanceModel& model,
+                            std::span<const Assignment> warm_start);
 
 }  // namespace ses::core
 

@@ -15,11 +15,7 @@ util::Result<SolverResult> BestFitSolver::DoSolve(
   util::WallTimer timer;
 
   AttendanceModel model(instance);
-  for (const Assignment& a : options.warm_start) {
-    SES_CHECK(model.CanAssign(a.event, a.interval))
-        << "warm-start assignment infeasible";
-    model.Apply(a.event, a.interval);
-  }
+  SES_RETURN_IF_ERROR(ApplyWarmStart(model, options.warm_start));
   SolverStats stats;
   util::Status termination;
 

@@ -4,6 +4,7 @@
 
 #include "core/attendance.h"
 #include "core/objective.h"
+#include "core/score_gen.h"
 #include "util/timer.h"
 
 namespace ses::core {
@@ -25,27 +26,24 @@ util::Result<SolverResult> GreedySolver::DoSolve(
   util::WallTimer timer;
 
   AttendanceModel model(instance);
-  for (const Assignment& a : options.warm_start) {
-    SES_CHECK(model.CanAssign(a.event, a.interval))
-        << "warm-start assignment infeasible";
-    model.Apply(a.event, a.interval);
-  }
+  SES_RETURN_IF_ERROR(ApplyWarmStart(model, options.warm_start));
   SolverStats stats;
   util::Status termination;
 
   // Algorithm 1, lines 2-4: generate all assignments with their scores.
-  // Interval-major order so the attendance engine loads each interval's
-  // scratch exactly once during generation.
+  // GenerateScoredAssignments emits in serial t-major order at every
+  // SolverOptions::threads value (in place on `model` when serial,
+  // sharded engines into a grid otherwise), so L is byte-identical
+  // across thread counts (tests/core_parallel_solve_test.cc pins this).
   std::vector<ScoredAssignment> list;
   list.reserve(static_cast<size_t>(instance.num_events()) *
                instance.num_intervals());
-  for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
-    if (context.CheckStop(&termination)) break;
-    for (EventIndex e = 0; e < instance.num_events(); ++e) {
-      if (model.schedule().IsAssigned(e)) continue;  // warm-started
-      list.push_back({e, t, model.MarginalGain(e, t)});
-    }
-  }
+  const ScoreGenResult generated = GenerateScoredAssignments(
+      instance, options, context, model,
+      [&list](EventIndex e, IntervalIndex t, double score) {
+        list.push_back({e, t, score});
+      });
+  termination = generated.termination;
 
   const size_t k = static_cast<size_t>(options.k);
   // Algorithm 1, lines 5-13. Skipped entirely when generation was cut
@@ -83,7 +81,12 @@ util::Result<SolverResult> GreedySolver::DoSolve(
     list.resize(write);
   }
 
-  stats.gain_evaluations = model.gain_evaluations();
+  // Sharded generation ran on shard-private engines; fold their
+  // evaluation count into the main model's so the total matches the
+  // serial single-model accounting exactly (zero on the serial path,
+  // where the main model scored everything itself).
+  stats.gain_evaluations =
+      model.gain_evaluations() + generated.gain_evaluations;
 
   SolverResult result;
   result.assignments = model.schedule().Assignments();

@@ -4,6 +4,7 @@
 
 #include "core/attendance.h"
 #include "core/objective.h"
+#include "core/score_gen.h"
 #include "util/timer.h"
 
 namespace ses::core {
@@ -32,27 +33,27 @@ util::Result<SolverResult> LazyGreedySolver::DoSolve(
   util::WallTimer timer;
 
   AttendanceModel model(instance);
-  for (const Assignment& a : options.warm_start) {
-    SES_CHECK(model.CanAssign(a.event, a.interval))
-        << "warm-start assignment infeasible";
-    model.Apply(a.event, a.interval);
-  }
+  SES_RETURN_IF_ERROR(ApplyWarmStart(model, options.warm_start));
   SolverStats stats;
   util::Status termination;
 
+  // Initial scores via the stage shared with GRD (score_gen.h): emitted
+  // in serial t-major order at every SolverOptions::threads value, so
+  // heap construction — and every pop after it — is identical across
+  // thread counts.
   std::vector<uint32_t> interval_version(instance.num_intervals(), 0);
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  ScoreGenResult generated;
   {
     std::vector<HeapEntry> init;
     init.reserve(static_cast<size_t>(instance.num_events()) *
                  instance.num_intervals());
-    for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
-      if (context.CheckStop(&termination)) break;
-      for (EventIndex e = 0; e < instance.num_events(); ++e) {
-        if (model.schedule().IsAssigned(e)) continue;  // warm-started
-        init.push_back({model.MarginalGain(e, t), e, t, 0});
-      }
-    }
+    generated = GenerateScoredAssignments(
+        instance, options, context, model,
+        [&init](EventIndex e, IntervalIndex t, double score) {
+          init.push_back({score, e, t, 0});
+        });
+    termination = generated.termination;
     heap = std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess>(
         HeapLess{}, std::move(init));
   }
@@ -83,7 +84,11 @@ util::Result<SolverResult> LazyGreedySolver::DoSolve(
     ++interval_version[top.interval];
   }
 
-  stats.gain_evaluations = model.gain_evaluations();
+  // Shard-private generation engines + the selection-phase model add up
+  // to the serial single-model evaluation count (the shard term is zero
+  // on the serial path, where the main model scored everything itself).
+  stats.gain_evaluations =
+      model.gain_evaluations() + generated.gain_evaluations;
 
   SolverResult result;
   result.assignments = model.schedule().Assignments();

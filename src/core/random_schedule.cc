@@ -14,10 +14,7 @@ util::Result<SolverResult> RandomSolver::DoSolve(
   util::Rng rng(options.seed);
 
   Schedule schedule(instance);
-  for (const Assignment& a : options.warm_start) {
-    SES_CHECK(schedule.Assign(a.event, a.interval).ok())
-        << "warm-start assignment infeasible";
-  }
+  SES_RETURN_IF_ERROR(ApplyWarmStart(schedule, options.warm_start));
   SolverStats stats;
   util::Status termination;
   // Both loops below are tight (no gain evaluations), so the context is

@@ -112,4 +112,17 @@ void Schedule::Clear() {
   size_ = 0;
 }
 
+util::Status ApplyWarmStart(Schedule& schedule,
+                            std::span<const Assignment> warm_start) {
+  for (const Assignment& a : warm_start) {
+    if (auto status = schedule.Assign(a.event, a.interval); !status.ok()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "warm-start assignment of event %u to interval %u is "
+          "infeasible: %s",
+          a.event, a.interval, status.message().c_str()));
+    }
+  }
+  return util::Status::Ok();
+}
+
 }  // namespace ses::core

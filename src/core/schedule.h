@@ -11,6 +11,7 @@
 ///   2. Resources constraint: the events of one interval require at most
 ///      theta resources in total.
 
+#include <span>
 #include <vector>
 
 #include "core/instance.h"
@@ -66,6 +67,16 @@ class Schedule {
   std::vector<double> interval_resources_;
   size_t size_ = 0;
 };
+
+/// Applies a warm start to an empty schedule. Returns InvalidArgument —
+/// the same typed rejection the api::Scheduler validation path produces —
+/// when an assignment cannot be applied, e.g. a warm start handed
+/// directly to Solver::Solve that slips past the tolerance-based
+/// validator but fails the schedule's strict feasibility check. Solvers
+/// call this instead of SES_CHECKing so a bad warm start is a typed
+/// error, never a process abort.
+util::Status ApplyWarmStart(Schedule& schedule,
+                            std::span<const Assignment> warm_start);
 
 }  // namespace ses::core
 

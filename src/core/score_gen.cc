@@ -1,0 +1,151 @@
+#include "core/score_gen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "core/attendance.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace ses::core {
+
+namespace {
+
+/// Scores intervals [lo, hi) on \p model, writing into the dense grid.
+/// Returns the number of evaluations; sets \p termination and stops at
+/// an interval boundary when the context says so.
+uint64_t ScoreRange(const SesInstance& instance, AttendanceModel& model,
+                    const SolveContext& context, size_t lo, size_t hi,
+                    std::vector<double>& scores, util::Status* termination) {
+  const size_t num_events = instance.num_events();
+  uint64_t evaluations = 0;
+  for (size_t t = lo; t < hi; ++t) {
+    if (context.CheckStop(termination)) break;
+    for (EventIndex e = 0; e < num_events; ++e) {
+      if (model.schedule().IsAssigned(e)) continue;  // warm-started
+      scores[t * num_events + e] =
+          model.MarginalGain(e, static_cast<IntervalIndex>(t));
+      ++evaluations;
+    }
+  }
+  return evaluations;
+}
+
+}  // namespace
+
+ScoreGenResult GenerateAssignmentScores(const SesInstance& instance,
+                                        const SolverOptions& options,
+                                        const SolveContext& context,
+                                        std::vector<double>& scores) {
+  const size_t num_intervals = instance.num_intervals();
+  SES_CHECK_EQ(scores.size(),
+               num_intervals * static_cast<size_t>(instance.num_events()));
+
+  ScoreGenResult result;
+
+  // Resolve the shard budget: 1 = serial, 0 = every available lane.
+  size_t max_shards;
+  if (options.threads == 1) {
+    max_shards = 1;
+  } else if (options.threads == 0) {
+    max_shards = 0;  // ParallelForShards: workers + caller
+  } else {
+    max_shards = static_cast<size_t>(options.threads);
+  }
+
+  if (max_shards == 1 || num_intervals <= 1) {
+    // Serial reference path: one model, no pool.
+    AttendanceModel model(instance);
+    SES_CHECK(ApplyWarmStart(model, options.warm_start).ok())
+        << "warm start must be validated before score generation";
+    result.gain_evaluations = ScoreRange(instance, model, context, 0,
+                                         num_intervals, scores,
+                                         &result.termination);
+    return result;
+  }
+
+  util::ThreadPool* pool = options.pool;
+  std::unique_ptr<util::ThreadPool> local_pool;
+  if (pool == nullptr) {
+    // Transient pool for direct Solver::Solve callers without one; the
+    // caller participates in shard execution, hence the -1 (also for
+    // threads == 0, where "all lanes" means hardware_concurrency lanes
+    // total, not hardware_concurrency workers plus the caller). Lanes
+    // are capped at the core count: more shards than cores only adds
+    // thread-spawn cost, never speed, and an absurd threads value must
+    // not translate into that many OS threads.
+    const size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+    const size_t lanes =
+        max_shards == 0 ? hw : std::min<size_t>(max_shards, hw);
+    local_pool =
+        std::make_unique<util::ThreadPool>(std::max<size_t>(1, lanes - 1));
+    pool = local_pool.get();
+  }
+
+  std::atomic<uint64_t> evaluations{0};
+  std::mutex termination_mutex;
+  util::Status first_stop;
+  pool->ParallelForShards(
+      0, num_intervals, max_shards, [&](size_t lo, size_t hi) {
+        // One private model per shard: AttendanceModel keeps per-interval
+        // scratch and is not shareable across threads. Replaying the
+        // validated warm start puts every model in the exact schedule
+        // state the serial pass scores under.
+        AttendanceModel model(instance);
+        SES_CHECK(ApplyWarmStart(model, options.warm_start).ok())
+            << "warm start must be validated before score generation";
+        util::Status termination;
+        evaluations.fetch_add(ScoreRange(instance, model, context, lo, hi,
+                                         scores, &termination),
+                              std::memory_order_relaxed);
+        if (!termination.ok()) {
+          std::lock_guard<std::mutex> lock(termination_mutex);
+          if (first_stop.ok()) first_stop = std::move(termination);
+        }
+      });
+  result.gain_evaluations = evaluations.load();
+  result.termination = std::move(first_stop);
+  return result;
+}
+
+ScoreGenResult GenerateScoredAssignments(const SesInstance& instance,
+                                         const SolverOptions& options,
+                                         const SolveContext& context,
+                                         AttendanceModel& model,
+                                         const ScoreEmit& emit) {
+  ScoreGenResult result;
+  const size_t num_events = instance.num_events();
+
+  if (options.threads == 1) {
+    // Serial reference path: score in place on the caller's model (which
+    // counts the evaluations itself — result.gain_evaluations stays 0).
+    for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+      if (context.CheckStop(&result.termination)) break;
+      for (EventIndex e = 0; e < num_events; ++e) {
+        if (model.schedule().IsAssigned(e)) continue;  // warm-started
+        emit(e, t, model.MarginalGain(e, t));
+      }
+    }
+    return result;
+  }
+
+  std::vector<double> scores(
+      static_cast<size_t>(instance.num_intervals()) * num_events);
+  result = GenerateAssignmentScores(instance, options, context, scores);
+  for (IntervalIndex t = 0;
+       result.termination.ok() && t < instance.num_intervals(); ++t) {
+    // Assembly is O(|E|·|T|) too; keep polling at interval boundaries so
+    // cancellation stays responsive between generation and selection.
+    if (context.CheckStop(&result.termination)) break;
+    for (EventIndex e = 0; e < num_events; ++e) {
+      if (model.schedule().IsAssigned(e)) continue;  // warm-started
+      emit(e, t, scores[static_cast<size_t>(t) * num_events + e]);
+    }
+  }
+  return result;
+}
+
+}  // namespace ses::core

@@ -24,6 +24,11 @@ util::Status ValidateSolverOptions(const SesInstance& instance,
         "k=%lld exceeds the number of candidate events (%u)",
         static_cast<long long>(options.k), instance.num_events()));
   }
+  if (options.threads < 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "threads must be >= 0, got %lld",
+        static_cast<long long>(options.threads)));
+  }
   if (!options.warm_start.empty()) {
     if (options.warm_start.size() > static_cast<size_t>(options.k)) {
       return util::Status::InvalidArgument(util::StrFormat(

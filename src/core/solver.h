@@ -14,6 +14,7 @@
 #include "core/solve_context.h"
 #include "core/types.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ses::core {
 
@@ -51,6 +52,22 @@ struct SolverOptions {
 
   /// Exact solver: node budget before giving up with ResourceExhausted.
   uint64_t max_nodes = 50000000;
+
+  /// Intra-solver parallelism for assignment-score generation (GRD and
+  /// lazy greedy): the maximum number of generation shards. 1 (default)
+  /// is the serial reference path; 0 means one shard per available lane
+  /// (pool workers plus the calling thread); N > 1 caps the shard count
+  /// at N. Results are bit-identical to the serial path regardless of
+  /// this value — only wall-clock time changes.
+  int64_t threads = 1;
+
+  /// Borrowed pool for score-generation shards; not owned, may be null.
+  /// api::Scheduler fills this in with its own pool for requests that
+  /// ask for threads != 1 (ThreadPool::ParallelFor is safe to call from
+  /// a pool worker, so fan-out solvers and intra-solver shards share one
+  /// pool). When null and threads != 1, solvers spin up a transient pool
+  /// for the generation pass.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Work counters reported by solvers for the paper's complexity analysis.

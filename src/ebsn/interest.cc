@@ -1,10 +1,35 @@
 #include "ebsn/interest.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "util/logging.h"
 
 namespace ses::ebsn {
+
+namespace {
+
+/// Per-thread scatter scratch for EventInterests: intersection counts per
+/// user plus the list of touched users. Keyed by thread rather than by
+/// model so a shared const InterestModel is safe to query from many
+/// threads at once. The counts invariant — zero everywhere outside a
+/// call (reset-as-we-go below) — lets models over different datasets
+/// share one buffer; it only ever grows to the largest user universe the
+/// thread has seen.
+struct ScatterScratch {
+  std::vector<uint16_t> overlap_counts;
+  std::vector<EbsnUserId> touched;
+};
+
+ScatterScratch& LocalScratch(size_t num_users) {
+  thread_local ScatterScratch scratch;
+  if (scratch.overlap_counts.size() < num_users) {
+    scratch.overlap_counts.resize(num_users, 0);
+  }
+  return scratch;
+}
+
+}  // namespace
 
 InterestModel::InterestModel(const EbsnDataset& dataset)
     : dataset_(&dataset) {
@@ -15,27 +40,26 @@ InterestModel::InterestModel(const EbsnDataset& dataset)
     }
   }
   // Users are visited in increasing id order, so the lists are sorted.
-  overlap_counts_.assign(dataset.users().size(), 0);
-  touched_.reserve(1024);
 }
 
 std::vector<UserInterest> InterestModel::EventInterests(
     const std::vector<TagId>& event_tags, float min_interest) const {
-  touched_.clear();
+  ScatterScratch& scratch = LocalScratch(dataset_->users().size());
+  scratch.touched.clear();
   for (TagId tag : event_tags) {
     SES_CHECK_LT(tag, tag_users_.size());
     for (EbsnUserId u : tag_users_[tag]) {
-      if (overlap_counts_[u] == 0) touched_.push_back(u);
-      ++overlap_counts_[u];
+      if (scratch.overlap_counts[u] == 0) scratch.touched.push_back(u);
+      ++scratch.overlap_counts[u];
     }
   }
   std::vector<UserInterest> out;
-  out.reserve(touched_.size());
+  out.reserve(scratch.touched.size());
   const auto& users = dataset_->users();
   const float event_size = static_cast<float>(event_tags.size());
-  for (EbsnUserId u : touched_) {
-    const float overlap = static_cast<float>(overlap_counts_[u]);
-    overlap_counts_[u] = 0;  // reset scratch as we go
+  for (EbsnUserId u : scratch.touched) {
+    const float overlap = static_cast<float>(scratch.overlap_counts[u]);
+    scratch.overlap_counts[u] = 0;  // reset scratch as we go
     const float union_size =
         static_cast<float>(users[u].tags.size()) + event_size - overlap;
     const float jaccard = union_size > 0 ? overlap / union_size : 0.0f;

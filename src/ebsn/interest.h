@@ -32,8 +32,9 @@ struct UserInterest {
 
 /// Jaccard-based interest computation over an EbsnDataset.
 ///
-/// Not thread-safe: EventInterests uses internal scratch buffers. Create
-/// one InterestModel per thread if parallelizing.
+/// Thread-safe for concurrent const use: EventInterests scatters into
+/// per-thread scratch (thread_local, grown lazily to the user universe),
+/// so one shared model serves parallel workload builds without locking.
 class InterestModel {
  public:
   /// Builds the inverted tag index for \p dataset. The dataset must
@@ -58,9 +59,6 @@ class InterestModel {
  private:
   const EbsnDataset* dataset_;
   std::vector<std::vector<EbsnUserId>> tag_users_;
-  // Scratch: per-user intersection counts and the list of touched users.
-  mutable std::vector<uint16_t> overlap_counts_;
-  mutable std::vector<EbsnUserId> touched_;
 };
 
 }  // namespace ses::ebsn

@@ -25,13 +25,13 @@ util::Result<std::vector<RunRecord>> ParallelSweepRunner::Run(
   // sweep points have very uneven cost — k=500 dwarfs k=100 — and FIFO
   // task pickup balances that across workers.
   for (size_t i = 0; i < points.size(); ++i) {
-    pool_.Submit([this, &factory, &points, &solvers, &slots, &failed, i] {
+    pool_.Submit([&factory, &points, &solvers, &slots, &failed, i] {
       if (failed.load(std::memory_order_relaxed)) return;  // cancelled
       const SweepPoint& point = points[i];
-      util::Result<core::SesInstance> instance = [&] {
-        std::lock_guard<std::mutex> lock(build_mutex_);
-        return factory.Build(point.config);
-      }();
+      // WorkloadFactory::Build is thread-safe (per-thread interest
+      // scratch), so instance construction overlaps with other points'
+      // builds and solver runs.
+      util::Result<core::SesInstance> instance = factory.Build(point.config);
       if (!instance.ok()) {
         slots[i] = instance.status();
         failed.store(true, std::memory_order_relaxed);

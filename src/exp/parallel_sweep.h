@@ -10,12 +10,11 @@
 /// order, regardless of worker count. Every comparable RunRecord field
 /// is reproducible; only the wall-clock `measurement` differs.
 /// Each point carries its own workload seed and solver seed, so no state
-/// leaks between points; instance construction goes through the (not
-/// thread-safe) WorkloadFactory under a mutex, while the solver runs —
-/// the dominant cost — proceed concurrently.
+/// leaks between points; WorkloadFactory::Build is thread-safe (per-
+/// thread interest scratch), so instance construction and solver runs
+/// all proceed concurrently across sweep points.
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,9 +61,6 @@ class ParallelSweepRunner {
 
  private:
   util::ThreadPool pool_;
-  // WorkloadFactory::Build is not thread-safe (shared interest-model
-  // scratch); builds are serialized, solver runs are not.
-  std::mutex build_mutex_;
 };
 
 /// Reference serial implementation of ParallelSweepRunner::Run — a plain

@@ -12,7 +12,7 @@ util::Result<std::vector<SweepCell>> RunRepeatedSweep(
     const WorkloadFactory& factory, const std::vector<int64_t>& xs,
     const ConfigFactory& make_config,
     const std::vector<std::string>& solvers, int repetitions,
-    uint64_t base_seed, size_t num_threads) {
+    uint64_t base_seed, size_t num_threads, int64_t solver_threads) {
   if (repetitions <= 0) {
     return util::Status::InvalidArgument("repetitions must be positive");
   }
@@ -29,6 +29,7 @@ util::Result<std::vector<SweepCell>> RunRepeatedSweep(
       point.config = make_config(x, seed);
       point.options.k = point.config.k;
       point.options.seed = seed;
+      point.options.threads = solver_threads;
       point.x = x;
       points.push_back(std::move(point));
     }

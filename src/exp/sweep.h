@@ -38,11 +38,15 @@ using ConfigFactory =
 /// callers serial so parallelism — which perturbs the `seconds`
 /// aggregates under CPU contention — stays opt-in). Per-cell seeding
 /// makes the utility aggregates identical for every worker count.
+/// \p solver_threads is forwarded to SolverOptions::threads (grd/lazy
+/// score-generation shards); utility aggregates are bit-identical at any
+/// value.
 util::Result<std::vector<SweepCell>> RunRepeatedSweep(
     const WorkloadFactory& factory, const std::vector<int64_t>& xs,
     const ConfigFactory& make_config,
     const std::vector<std::string>& solvers, int repetitions,
-    uint64_t base_seed, size_t num_threads = 1);
+    uint64_t base_seed, size_t num_threads = 1,
+    int64_t solver_threads = 1);
 
 /// Renders cells as "mean +- sd" per column, rows keyed by x.
 std::string RenderSweepTable(const std::string& title,

@@ -62,7 +62,9 @@ struct PaperWorkloadConfig {
 
 /// Builds SES instances over a fixed EBSN dataset. Construction
 /// pre-builds the Jaccard inverted index once; Build() is then cheap
-/// enough to call per sweep point.
+/// enough to call per sweep point. Thread-safe: Build() only reads the
+/// shared index (InterestModel keeps its scatter scratch per thread), so
+/// concurrent sweep workers construct instances without serialization.
 class WorkloadFactory {
  public:
   /// \p dataset must outlive the factory.
@@ -76,9 +78,7 @@ class WorkloadFactory {
 
  private:
   const ebsn::EbsnDataset* dataset_;
-  // InterestModel keeps internal scratch; mutable because Build() is
-  // logically const. The factory is not thread-safe.
-  mutable ebsn::InterestModel interest_;
+  ebsn::InterestModel interest_;
 };
 
 }  // namespace ses::exp

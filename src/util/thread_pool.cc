@@ -1,10 +1,60 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "util/logging.h"
 
 namespace ses::util {
+
+namespace {
+
+/// State of one ParallelFor call, shared between the caller and its
+/// helper tasks. Shards are claimed through an atomic cursor rather than
+/// pre-assigned to tasks, so progress never depends on any helper being
+/// scheduled: whoever shows up first (usually the caller) takes the next
+/// shard. Completion is a per-call latch counting *shards*, not helper
+/// tasks — a helper dequeued after the shards ran out exits without
+/// touching fn, which is what makes the call safe to issue from inside a
+/// pool worker and independent of unrelated Submit() traffic.
+struct ParallelForCall {
+  std::function<void(size_t, size_t)> fn;
+  size_t begin = 0;
+  size_t shards = 0;
+  size_t base = 0;   ///< items in every shard
+  size_t extra = 0;  ///< first `extra` shards carry one item more
+
+  std::atomic<size_t> next_shard{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t completed = 0;
+
+  /// Claims and executes one shard; false when none are left.
+  bool RunOneShard() {
+    const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+    if (s >= shards) return false;
+    // Balanced partition: sizes differ by at most one, shard s starts
+    // after s full shards plus one extra item for each oversized
+    // predecessor.
+    const size_t lo = begin + s * base + std::min(s, extra);
+    const size_t hi = lo + base + (s < extra ? 1 : 0);
+    fn(lo, hi);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++completed == shards) done.notify_all();
+    }
+    return true;
+  }
+
+  /// Blocks until every shard has finished executing.
+  void WaitShards() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return completed == shards; });
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -63,19 +113,48 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
+  ParallelForShards(begin, end, /*max_shards=*/0,
+                    [&fn](size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) fn(i);
+                    });
+}
+
+void ThreadPool::ParallelForShards(
+    size_t begin, size_t end, size_t max_shards,
+    const std::function<void(size_t, size_t)>& fn) {
   if (begin >= end) return;
   const size_t total = end - begin;
-  const size_t shards = std::min(total, num_threads());
-  const size_t chunk = (total + shards - 1) / shards;
-  for (size_t s = 0; s < shards; ++s) {
-    const size_t lo = begin + s * chunk;
-    const size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    Submit([lo, hi, &fn] {
-      for (size_t i = lo; i < hi; ++i) fn(i);
+  // One lane per worker plus the calling thread; the caller always
+  // participates, so a pool whose workers are busy (or a call made from
+  // the last free worker) still makes progress.
+  size_t lanes = num_threads() + 1;
+  if (max_shards > 0) lanes = std::min(lanes, max_shards);
+  const size_t shards = std::min(total, lanes);
+  if (shards <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  auto call = std::make_shared<ParallelForCall>();
+  call->fn = fn;
+  call->begin = begin;
+  call->shards = shards;
+  call->base = total / shards;
+  call->extra = total % shards;
+
+  // Helpers for the other lanes. Each holds the call state alive; one
+  // that runs after the caller already finished every shard is a no-op.
+  for (size_t h = 1; h < shards; ++h) {
+    Submit([call] {
+      while (call->RunOneShard()) {
+      }
     });
   }
-  Wait();
+  while (call->RunOneShard()) {
+  }
+  // Only shards already claimed by helpers can still be running; they
+  // finish without any further scheduling, so this cannot deadlock.
+  call->WaitShards();
 }
 
 }  // namespace ses::util

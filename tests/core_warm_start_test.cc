@@ -124,6 +124,43 @@ TEST(WarmStartValidationTest, RejectsInfeasibleWarmStart) {
   EXPECT_FALSE(grd.Solve(instance, options).ok());
 }
 
+// A warm start whose resource total exceeds theta by less than the
+// validator's 1e-9 tolerance passes ValidateSolverOptions but fails the
+// schedule's strict feasibility check. Handed directly to Solver::Solve
+// (bypassing api::Scheduler), every constructive solver used to abort
+// the process on an SES_CHECK; it must instead surface a typed
+// InvalidArgument.
+TEST(WarmStartValidationTest, NearThetaWarmStartReturnsInvalidArgument) {
+  InstanceBuilder builder;
+  builder.SetNumUsers(4).SetNumIntervals(2).SetTheta(1.0).SetSigma(
+      std::make_shared<HashUniformSigma>(1));
+  // Two events at distinct locations, each needing just over theta/2:
+  // individually fine, jointly over theta by 5e-10 (< the 1e-9 slack).
+  builder.AddEvent(/*location=*/0, /*required_resources=*/0.5 + 2.5e-10,
+                   {{0u, 0.5f}});
+  builder.AddEvent(/*location=*/1, /*required_resources=*/0.5 + 2.5e-10,
+                   {{1u, 0.5f}});
+  auto instance = builder.Build();
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  SolverOptions options;
+  options.k = 2;
+  options.warm_start = {{0, 0}, {1, 0}};
+  // The validator accepts this warm start (within tolerance)...
+  ASSERT_TRUE(ValidateAssignments(*instance, options.warm_start).ok());
+
+  for (const char* name : {"grd", "lazy", "bestfit", "top", "rand"}) {
+    auto solver = MakeSolver(name);
+    ASSERT_TRUE(solver.ok());
+    // ...but applying it is infeasible: expect a typed error, not a
+    // process abort.
+    auto result = solver.value()->Solve(*instance, options);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument)
+        << name << ": " << result.status().ToString();
+  }
+}
+
 TEST(WarmStartValidationTest, WarmStartEqualToKReturnsItUnchanged) {
   test::RandomInstanceConfig config;
   config.seed = 7;

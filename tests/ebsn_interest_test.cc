@@ -1,5 +1,8 @@
 #include "ebsn/interest.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "ebsn/generator.h"
@@ -94,6 +97,52 @@ TEST(InterestModelTest, InvertedIndexAgreesWithReferenceOnSynthetic) {
       }
     }
     EXPECT_EQ(cursor, sparse.size());
+  }
+}
+
+// EventInterests is const-thread-safe (per-thread scatter scratch): many
+// threads hammering one shared model must each reproduce the serial
+// answer — which itself agrees with the UserEventJaccard reference (the
+// InvertedIndexAgreesWithReferenceOnSynthetic test above pins that leg).
+TEST(InterestModelTest, ConcurrentEventInterestsMatchSerial) {
+  SyntheticMeetupConfig config;
+  config.num_users = 400;
+  config.num_events = 60;
+  config.num_groups = 30;
+  config.num_tags = 50;
+  config.seed = 11;
+  const EbsnDataset ds = GenerateSyntheticMeetup(config);
+  const InterestModel model(ds);
+
+  std::vector<std::vector<UserInterest>> expected;
+  expected.reserve(ds.events().size());
+  for (const auto& event : ds.events()) {
+    expected.push_back(model.EventInterests(event.tags, 0.05f));
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 5;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([w, &ds, &model, &expected, &mismatches] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Stagger the start so threads sweep different events at once.
+        for (size_t i = 0; i < ds.events().size(); ++i) {
+          const size_t e = (i + static_cast<size_t>(w) * 7) %
+                           ds.events().size();
+          if (model.EventInterests(ds.events()[e].tags, 0.05f) !=
+              expected[e]) {
+            ++mismatches[w];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int w = 0; w < kThreads; ++w) {
+    EXPECT_EQ(mismatches[w], 0) << "thread " << w;
   }
 }
 

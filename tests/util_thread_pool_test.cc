@@ -1,7 +1,11 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <future>
+#include <mutex>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -87,6 +91,96 @@ TEST(ThreadPoolTest, TasksCanSubmitMoreWork) {
   });
   pool.Wait();
   EXPECT_EQ(counter.load(), 11);
+}
+
+// Regression: ParallelFor issued from inside a pool task used to wait on
+// the pool-wide in-flight count — which includes the waiting task itself
+// — and deadlocked. The per-call latch plus caller participation makes
+// nested calls complete even when every worker is inside one.
+TEST(ThreadPoolTest, ParallelForFromInsideAPoolTaskCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int task = 0; task < 4; ++task) {
+    pool.Submit([&pool, &total] {
+      pool.ParallelFor(0, 100, [&total](size_t) { total.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  pool.Submit([&pool, &leaves] {
+    pool.ParallelFor(0, 4, [&pool, &leaves](size_t) {
+      pool.ParallelFor(0, 8, [&leaves](size_t) { leaves.fetch_add(1); });
+    });
+  });
+  pool.Wait();
+  EXPECT_EQ(leaves.load(), 32);
+}
+
+// ParallelFor must not wait on unrelated Submit() work: with the only
+// worker parked on a gate, the caller runs every shard itself and
+// returns while the unrelated task is still blocked.
+TEST(ThreadPoolTest, ParallelForDoesNotWaitForUnrelatedTasks) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.Submit([gate] { gate.wait(); });
+
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 8, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+
+  release.set_value();
+  pool.Wait();
+}
+
+// Shard math: sizes differ by at most one and the shards partition the
+// range exactly (the old ceil-based split could leave a tiny trailing
+// shard while early shards were oversized).
+TEST(ThreadPoolTest, ParallelForShardsAreBalanced) {
+  ThreadPool pool(3);
+  for (size_t total : {4u, 7u, 10u, 11u, 97u}) {
+    std::mutex mutex;
+    std::vector<std::pair<size_t, size_t>> shards;
+    pool.ParallelForShards(5, 5 + total, /*max_shards=*/0,
+                           [&](size_t lo, size_t hi) {
+                             std::lock_guard<std::mutex> lock(mutex);
+                             shards.push_back({lo, hi});
+                           });
+    std::sort(shards.begin(), shards.end());
+    size_t covered = 0;
+    size_t min_size = total;
+    size_t max_size = 0;
+    size_t expect_lo = 5;
+    for (const auto& [lo, hi] : shards) {
+      EXPECT_EQ(lo, expect_lo) << "total=" << total;
+      EXPECT_GT(hi, lo);
+      covered += hi - lo;
+      min_size = std::min(min_size, hi - lo);
+      max_size = std::max(max_size, hi - lo);
+      expect_lo = hi;
+    }
+    EXPECT_EQ(covered, total);
+    EXPECT_LE(max_size - min_size, 1u) << "total=" << total;
+    EXPECT_LE(shards.size(), pool.num_threads() + 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForShardsHonorsMaxShards) {
+  ThreadPool pool(4);
+  std::atomic<size_t> shard_count{0};
+  std::vector<int> hits(100, 0);
+  pool.ParallelForShards(0, hits.size(), /*max_shards=*/2,
+                         [&](size_t lo, size_t hi) {
+                           shard_count.fetch_add(1);
+                           for (size_t i = lo; i < hi; ++i) hits[i] += 1;
+                         });
+  EXPECT_LE(shard_count.load(), 2u);
+  for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 }  // namespace

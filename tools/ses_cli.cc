@@ -132,6 +132,7 @@ int CmdSolve(int argc, const char* const* argv) {
   std::string solver_name = "grd";
   int64_t k = 100;
   int64_t seed = 1;
+  int64_t solver_threads = 1;
   double budget_seconds = 0.0;
   bool print_schedule = false;
   util::FlagSet flags("ses_cli solve");
@@ -140,6 +141,9 @@ int CmdSolve(int argc, const char* const* argv) {
                   "solver name (see `ses_cli solve --solver=help`)");
   flags.AddInt("k", &k, "schedule size");
   flags.AddInt("seed", &seed, "solver seed");
+  flags.AddInt("solver-threads", &solver_threads,
+               "score-generation shards for grd/lazy (1 = serial, 0 = all "
+               "cores); the schedule is bit-identical at any value");
   flags.AddDouble("budget-seconds", &budget_seconds,
                   "wall-clock budget; 0 = unlimited");
   flags.AddBool("print-schedule", &print_schedule,
@@ -150,14 +154,23 @@ int CmdSolve(int argc, const char* const* argv) {
   if (instance_dir.empty()) {
     return Fail(util::Status::InvalidArgument("--instance is required"));
   }
+  if (solver_threads < 0) {
+    return Fail(
+        util::Status::InvalidArgument("--solver-threads must be >= 0"));
+  }
   auto instance = core::LoadInstance(instance_dir);
   if (!instance.ok()) return Fail(instance.status());
 
-  api::Scheduler scheduler(api::SchedulerOptions{.num_threads = 1});
+  // The scheduler pool doubles as the score-generation shard pool; size
+  // it to the requested intra-solver parallelism (0 = all cores, N
+  // capped at the core count — the shared ForSolverThreads policy).
+  api::Scheduler scheduler(
+      api::SchedulerOptions::ForSolverThreads(solver_threads));
   api::SolveRequest request;
   request.solver = solver_name;
   request.options.k = k;
   request.options.seed = static_cast<uint64_t>(seed);
+  request.options.threads = solver_threads;
   if (budget_seconds > 0.0) {
     request.deadline = core::Deadline::After(budget_seconds);
   }
