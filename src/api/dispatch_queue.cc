@@ -1,0 +1,60 @@
+#include "api/dispatch_queue.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ses::api {
+
+const char* PriorityToString(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh:
+      return "high";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+bool DispatchQueue::TryDispatch(util::ThreadPool& pool, Priority priority,
+                                std::function<void()> job,
+                                size_t* depth_at_refusal) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_queued_ > 0 && queued_ >= max_queued_) {
+      if (depth_at_refusal != nullptr) *depth_at_refusal = queued_;
+      return false;
+    }
+    lanes_[static_cast<size_t>(priority)].push_back(std::move(job));
+    ++queued_;
+  }
+  // One pool task per admitted job: the counts always match, so RunNext
+  // is guaranteed to find *a* job — just not necessarily this one.
+  pool.Submit([this] { RunNext(); });
+  return true;
+}
+
+size_t DispatchQueue::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+void DispatchQueue::RunNext() {
+  std::function<void()> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::deque<std::function<void()>>& lane : lanes_) {
+      if (lane.empty()) continue;
+      job = std::move(lane.front());
+      lane.pop_front();
+      break;
+    }
+    SES_CHECK(job != nullptr) << "dispatch task without a queued job";
+    --queued_;
+  }
+  job();
+}
+
+}  // namespace ses::api

@@ -1,0 +1,90 @@
+#ifndef SES_API_DISPATCH_QUEUE_H_
+#define SES_API_DISPATCH_QUEUE_H_
+
+/// \file
+/// Priority-aware, admission-controlled dispatch queue feeding a
+/// util::ThreadPool.
+///
+/// util::ThreadPool deliberately stays a plain FIFO executor — its
+/// ParallelFor re-entrancy contract is easiest to reason about that way
+/// — so request ordering lives one layer up, here. Each admitted job is
+/// parked in one of three priority lanes and a generic "run the best
+/// queued job" task is pushed to the pool; when a worker picks that task
+/// up it drains whichever job is most urgent *at that moment*, so a
+/// High-priority request admitted behind a wall of Batch work still runs
+/// as soon as any worker frees up. Within a lane jobs run in admission
+/// (FIFO) order.
+///
+/// Admission control is a fail-fast bound on the number of admitted but
+/// not-yet-started jobs: TryDispatch refuses (returns false, runs
+/// nothing) once `max_queued` jobs are waiting, instead of letting a
+/// burst queue unbounded work. The caller turns a refusal into a typed
+/// kResourceExhausted response; nothing here blocks or aborts.
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace ses::api {
+
+/// Urgency of one request. Lower enum value drains first; ties drain in
+/// admission order.
+enum class Priority {
+  kHigh = 0,    ///< latency-sensitive, overtakes everything queued
+  kNormal = 1,  ///< default
+  kBatch = 2,   ///< throughput work, yields to everything else
+};
+
+/// Stable lowercase name ("high", "normal", "batch") for logs and flags.
+const char* PriorityToString(Priority priority);
+
+/// Bounded three-lane priority queue in front of a util::ThreadPool.
+/// Thread-safe; one instance is meant to be shared by many submitters.
+class DispatchQueue {
+ public:
+  /// \param max_queued admitted-but-not-started bound; 0 = unbounded.
+  explicit DispatchQueue(size_t max_queued = 0)
+      : max_queued_(max_queued) {}
+
+  DispatchQueue(const DispatchQueue&) = delete;
+  DispatchQueue& operator=(const DispatchQueue&) = delete;
+
+  /// Admits \p job at \p priority and schedules it on \p pool, unless
+  /// the queue is full — then returns false without enqueuing anything
+  /// and, when \p depth_at_refusal is non-null, stores the queue depth
+  /// observed under the admission lock (a re-read after returning could
+  /// contradict the refusal once workers drain concurrently). An
+  /// admitted job runs exactly once, after every queued job with a more
+  /// urgent lane (and every earlier job in its own lane) has been
+  /// picked up.
+  ///
+  /// The queue must outlive every pool task it schedules; destroy (or
+  /// drain) the pool before destroying the queue.
+  bool TryDispatch(util::ThreadPool& pool, Priority priority,
+                   std::function<void()> job,
+                   size_t* depth_at_refusal = nullptr);
+
+  /// Jobs admitted and still waiting for a worker.
+  size_t queued() const;
+
+  /// The admission bound; 0 = unbounded.
+  size_t max_queued() const { return max_queued_; }
+
+ private:
+  /// Pops and runs the most urgent queued job (pool-task body).
+  void RunNext();
+
+  const size_t max_queued_;
+  mutable std::mutex mutex_;
+  /// One FIFO lane per Priority value, indexed by the enum.
+  std::array<std::deque<std::function<void()>>, 3> lanes_;
+  size_t queued_ = 0;
+};
+
+}  // namespace ses::api
+
+#endif  // SES_API_DISPATCH_QUEUE_H_

@@ -1,10 +1,13 @@
 #include "api/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "core/registry.h"
+#include "util/string_util.h"
 
 namespace ses::api {
 
@@ -24,6 +27,15 @@ util::Status UnknownSolverStatus(const std::string& name) {
 
 }  // namespace
 
+// Also what the by-reference entry points ride on internally, so they
+// share one pinned code path with the by-id ones; the by-reference
+// contract (instance outlives the call) is unchanged.
+std::shared_ptr<const core::SesInstance> BorrowInstance(
+    const core::SesInstance& instance) {
+  return std::shared_ptr<const core::SesInstance>(
+      std::shared_ptr<const void>(), &instance);
+}
+
 SchedulerOptions SchedulerOptions::ForSolverThreads(int64_t solver_threads) {
   SchedulerOptions options;
   if (solver_threads > 0) {
@@ -36,7 +48,21 @@ SchedulerOptions SchedulerOptions::ForSolverThreads(int64_t solver_threads) {
 }
 
 Scheduler::Scheduler(const SchedulerOptions& options)
-    : pool_(options.num_threads) {}
+    : dispatch_(options.max_queued_requests), pool_(options.num_threads) {}
+
+PendingSolve Scheduler::ResolvedWithError(
+    std::string solver, std::shared_ptr<core::CancelToken> cancel,
+    util::Status status) {
+  PendingSolve pending;
+  pending.cancel_ = std::move(cancel);
+  std::promise<SolveResponse> promise;
+  SolveResponse response;
+  response.solver = std::move(solver);
+  response.status = std::move(status);
+  promise.set_value(std::move(response));
+  pending.future_ = promise.get_future();
+  return pending;
+}
 
 util::Status Scheduler::Validate(const core::SesInstance& instance,
                                  const SolveRequest& request) const {
@@ -97,46 +123,79 @@ SolveResponse Scheduler::Solve(const core::SesInstance& instance,
 
 PendingSolve Scheduler::Submit(const core::SesInstance& instance,
                                SolveRequest request) {
+  return SubmitPinned(BorrowInstance(instance), std::move(request));
+}
+
+PendingSolve Scheduler::SubmitPinned(
+    std::shared_ptr<const core::SesInstance> pin, SolveRequest request) {
   // Guarantee a token so PendingSolve::Cancel is never a silent no-op.
   if (request.cancel == nullptr) {
     request.cancel = std::make_shared<core::CancelToken>();
   }
 
+  // Fail fast on invalid requests: resolve the handle immediately
+  // without occupying a worker or a queue slot.
+  if (auto status = Validate(*pin, request); !status.ok()) {
+    return ResolvedWithError(request.solver, request.cancel,
+                             std::move(status));
+  }
+
   PendingSolve pending;
   pending.cancel_ = request.cancel;
 
-  // Fail fast on invalid requests: resolve the handle immediately
-  // without occupying a worker.
-  if (auto status = Validate(instance, request); !status.ok()) {
-    std::promise<SolveResponse> promise;
-    SolveResponse response;
-    response.solver = request.solver;
-    response.status = std::move(status);
-    promise.set_value(std::move(response));
-    pending.future_ = promise.get_future();
-    return pending;
-  }
+  // Kept out of the task: needed again if admission refuses it below.
+  const Priority priority = request.priority;
+  const std::string solver_name = request.solver;
+  const auto cancel = request.cancel;
 
   // ThreadPool::Submit wants a copyable callable; park the packaged_task
-  // behind a shared_ptr.
+  // behind a shared_ptr. The task owns the pin: a Drop of the instance
+  // while this request is queued or running cannot invalidate it.
+  const auto admitted = std::chrono::steady_clock::now();
   auto task = std::make_shared<std::packaged_task<SolveResponse()>>(
-      [this, &instance, request = std::move(request)]() {
-        return RunRequest(instance, request);
+      [this, admitted, pin = std::move(pin),
+       request = std::move(request)]() {
+        const std::chrono::duration<double> waited =
+            std::chrono::steady_clock::now() - admitted;
+        SolveResponse response = RunRequest(*pin, request);
+        response.queue_seconds = waited.count();
+        return response;
       });
   pending.future_ = task->get_future();
-  pool_.Submit([task]() { (*task)(); });
+
+  // Admission: the queue slot check and the enqueue are one atomic step
+  // inside TryDispatch, so a burst of submitters can never overshoot
+  // the bound between a check and an insert; the refusal depth is the
+  // one observed under that same lock.
+  size_t depth_at_refusal = 0;
+  if (!dispatch_.TryDispatch(pool_, priority, [task] { (*task)(); },
+                             &depth_at_refusal)) {
+    return ResolvedWithError(
+        solver_name, cancel,
+        util::Status::ResourceExhausted(util::StrFormat(
+            "solve queue is full: %zu of %zu slots in use; retry later "
+            "or raise SchedulerOptions::max_queued_requests",
+            depth_at_refusal, dispatch_.max_queued())));
+  }
   return pending;
 }
 
 std::vector<SolveResponse> Scheduler::SolveBatch(
     const core::SesInstance& instance,
     const std::vector<SolveRequest>& requests) {
+  return SolveBatchPinned(BorrowInstance(instance), requests);
+}
+
+std::vector<SolveResponse> Scheduler::SolveBatchPinned(
+    std::shared_ptr<const core::SesInstance> pin,
+    const std::vector<SolveRequest>& requests) {
   // One future slot per request keeps the output order equal to the
-  // request order no matter which worker finishes first.
+  // request order no matter which worker finishes first — and no matter
+  // the priorities, which only shuffle start order.
   std::vector<PendingSolve> pending;
   pending.reserve(requests.size());
   for (const SolveRequest& request : requests) {
-    pending.push_back(Submit(instance, request));
+    pending.push_back(SubmitPinned(pin, request));
   }
   std::vector<SolveResponse> responses;
   responses.reserve(requests.size());
@@ -144,6 +203,108 @@ std::vector<SolveResponse> Scheduler::SolveBatch(
     responses.push_back(handle.Get());
   }
   return responses;
+}
+
+// --- Session cache ---------------------------------------------------------
+
+util::Status Scheduler::LoadInstance(const std::string& name,
+                                     core::SesInstance instance) {
+  return LoadInstance(
+      name, std::make_shared<const core::SesInstance>(std::move(instance)));
+}
+
+util::Status Scheduler::LoadInstance(
+    const std::string& name,
+    std::shared_ptr<const core::SesInstance> instance) {
+  if (instance == nullptr) {
+    return util::Status::InvalidArgument(
+        "LoadInstance requires a non-null instance");
+  }
+  std::unique_lock<std::shared_mutex> lock(instances_mutex_);
+  const auto [it, inserted] = instances_.emplace(name, std::move(instance));
+  (void)it;
+  if (!inserted) {
+    return util::Status::AlreadyExists("instance '" + name +
+                                       "' is already loaded; Drop it first");
+  }
+  return util::Status::Ok();
+}
+
+util::Status Scheduler::Drop(const std::string& name) {
+  std::shared_ptr<const core::SesInstance> released;
+  {
+    std::unique_lock<std::shared_mutex> lock(instances_mutex_);
+    auto it = instances_.find(name);
+    if (it == instances_.end()) {
+      return util::Status::NotFound("instance '" + name + "' is not loaded");
+    }
+    // Move the pin out so a potentially large deallocation (when this
+    // was the last reference) happens outside the lock.
+    released = std::move(it->second);
+    instances_.erase(it);
+  }
+  return util::Status::Ok();
+}
+
+std::vector<std::string> Scheduler::LoadedInstances() const {
+  std::vector<std::string> names;
+  {
+    std::shared_lock<std::shared_mutex> lock(instances_mutex_);
+    names.reserve(instances_.size());
+    for (const auto& [name, instance] : instances_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+util::Result<std::shared_ptr<const core::SesInstance>> Scheduler::Pin(
+    const std::string& instance_name) const {
+  std::shared_lock<std::shared_mutex> lock(instances_mutex_);
+  auto it = instances_.find(instance_name);
+  if (it == instances_.end()) {
+    return util::Status::NotFound("instance '" + instance_name +
+                                  "' is not loaded");
+  }
+  return it->second;
+}
+
+SolveResponse Scheduler::Solve(const std::string& instance_name,
+                               const SolveRequest& request) const {
+  auto pin = Pin(instance_name);
+  if (!pin.ok()) {
+    SolveResponse response;
+    response.solver = request.solver;
+    response.status = pin.status();
+    return response;
+  }
+  return RunRequest(**pin, request);
+}
+
+PendingSolve Scheduler::Submit(const std::string& instance_name,
+                               SolveRequest request) {
+  auto pin = Pin(instance_name);
+  if (!pin.ok()) {
+    if (request.cancel == nullptr) {
+      request.cancel = std::make_shared<core::CancelToken>();
+    }
+    return ResolvedWithError(request.solver, request.cancel, pin.status());
+  }
+  return SubmitPinned(std::move(*pin), std::move(request));
+}
+
+std::vector<SolveResponse> Scheduler::SolveBatch(
+    const std::string& instance_name,
+    const std::vector<SolveRequest>& requests) {
+  auto pin = Pin(instance_name);
+  if (!pin.ok()) {
+    std::vector<SolveResponse> responses(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i].solver = requests[i].solver;
+      responses[i].status = pin.status();
+    }
+    return responses;
+  }
+  return SolveBatchPinned(std::move(*pin), requests);
 }
 
 std::vector<std::string> ListSolvers() { return core::ListSolvers(); }

@@ -27,12 +27,35 @@
 /// returns a PendingSolve; SolveBatch() fans N requests across the pool
 /// and returns responses in request order regardless of completion
 /// order — the primitive behind exp::RunSolvers' per-point solver loop.
+///
+/// The Scheduler is a *service shell*, not just an executor:
+///
+///  - **Admission control.** SchedulerOptions::max_queued_requests
+///    bounds the work Submit/SolveBatch may park in front of the pool.
+///    When the queue is full, new async requests fail fast with a
+///    kResourceExhausted *response* (reporting depth and limit) instead
+///    of queueing unbounded work — never a block, never an abort.
+///  - **Per-request priorities.** SolveRequest::priority (High / Normal
+///    / Batch) orders the queue priority-then-FIFO: a High request
+///    admitted behind a wall of Batch work runs as soon as any worker
+///    frees up. Priorities affect only scheduling order; responses stay
+///    bit-identical to any other ordering.
+///  - **Session cache.** LoadInstance(name, ...) / Drop(name) let one
+///    scheduler hold many instances; the id-keyed Solve / Submit /
+///    SolveBatch overloads solve against a loaded instance by name, so
+///    N callers share one loaded copy instead of each threading
+///    `const SesInstance&` through every hop. In-flight solves pin
+///    their instance (refcounted), so Drop during a solve is safe: the
+///    solve completes against the pinned copy.
 
 #include <future>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "api/dispatch_queue.h"
 #include "core/instance.h"
 #include "core/solve_context.h"
 #include "core/solver.h"
@@ -52,6 +75,12 @@ struct SolveRequest {
   /// scheduler's own pool (results stay bit-identical; see
   /// SolverOptions::threads).
   core::SolverOptions options;
+
+  /// Queue urgency for Submit/SolveBatch: the scheduler drains its
+  /// queue priority-then-FIFO. Has no effect on the response content,
+  /// only on when the request starts; Solve() (synchronous, caller's
+  /// thread) ignores it.
+  Priority priority = Priority::kNormal;
 
   /// Wall-clock budget; unlimited by default. An expired deadline turns
   /// the run into "return the best feasible schedule found so far".
@@ -75,6 +104,7 @@ struct SolveRequest {
 struct SolveResponse {
   /// OK: completed schedule. kDeadlineExceeded / kCancelled: interrupted,
   /// `schedule` holds the best feasible partial result (possibly empty).
+  /// kResourceExhausted: refused at admission (queue full), nothing ran.
   /// Any other code: the request failed and `schedule` is empty.
   util::Status status;
 
@@ -86,6 +116,12 @@ struct SolveResponse {
 
   /// Wall-clock seconds spent inside the solver.
   double wall_seconds = 0.0;
+
+  /// Wall-clock seconds between admission and the solver starting —
+  /// the queue wait. 0 for synchronous Solve() and for requests that
+  /// never started (validation or admission failures). This is the
+  /// serving-latency signal the priority lanes exist to shape.
+  double queue_seconds = 0.0;
 
   /// Solver work counters.
   core::SolverStats stats;
@@ -106,6 +142,12 @@ struct SolveResponse {
 struct SchedulerOptions {
   /// Worker threads for Submit/SolveBatch; 0 = hardware concurrency.
   size_t num_threads = 0;
+
+  /// Admission bound: maximum requests admitted by Submit/SolveBatch
+  /// but not yet started. 0 = unbounded (the pre-service-shell
+  /// behavior). When the bound is hit, new async requests resolve
+  /// immediately with kResourceExhausted.
+  size_t max_queued_requests = 0;
 
   /// Pool sizing for a `--solver-threads`-style knob (the CLI and the
   /// benches share this policy): 0 keeps the all-cores default, N > 0
@@ -151,10 +193,15 @@ class PendingSolve {
 /// Scheduler is meant to serve many requests (and many callers — all
 /// entry points are thread-safe; solver runs share the pool).
 ///
-/// The instance passed to Solve/Submit/SolveBatch is read concurrently
-/// and must stay alive and unmodified until every response has been
-/// collected. SesInstance is immutable after Build, so this is the
-/// natural contract.
+/// Two ways to name the instance to solve:
+///
+///  - By reference: the instance passed to Solve/Submit/SolveBatch is
+///    read concurrently and must stay alive and unmodified until every
+///    response has been collected. SesInstance is immutable after
+///    Build, so this is the natural contract.
+///  - By id: LoadInstance the instance once, then solve against its
+///    name from any thread. The scheduler keeps owned instances alive
+///    while any solve is in flight, Drop or not.
 class Scheduler {
  public:
   explicit Scheduler(const SchedulerOptions& options = SchedulerOptions());
@@ -169,26 +216,102 @@ class Scheduler {
   SolveResponse Solve(const core::SesInstance& instance,
                       const SolveRequest& request) const;
 
-  /// Validates \p request and enqueues it on the pool. Validation errors
-  /// surface through the returned handle's Get(), never as lost work.
+  /// Validates \p request and enqueues it on the pool at its priority.
+  /// Validation errors surface through the returned handle's Get(),
+  /// never as lost work; so does an admission refusal
+  /// (kResourceExhausted) when the queue is at
+  /// SchedulerOptions::max_queued_requests.
   PendingSolve Submit(const core::SesInstance& instance,
                       SolveRequest request);
 
   /// Runs every request concurrently on the pool and returns responses
-  /// in request order — deterministic regardless of worker count or
-  /// completion order. Invalid requests yield error responses in their
-  /// slot without disturbing their siblings.
+  /// in request order — deterministic regardless of worker count,
+  /// priorities, or completion order. Invalid or refused requests yield
+  /// error responses in their slot without disturbing their siblings.
   std::vector<SolveResponse> SolveBatch(
       const core::SesInstance& instance,
+      const std::vector<SolveRequest>& requests);
+
+  // --- Session cache -----------------------------------------------------
+
+  /// Takes ownership of \p instance and registers it under \p name for
+  /// the id-keyed entry points. AlreadyExists if \p name is taken
+  /// (Drop first to replace).
+  util::Status LoadInstance(const std::string& name,
+                            core::SesInstance instance);
+
+  /// Shared-ownership variant: registers an instance the caller also
+  /// holds (or, via a non-owning shared_ptr, merely borrows — the
+  /// caller then guarantees the instance outlives Drop and every solve
+  /// submitted against it).
+  util::Status LoadInstance(
+      const std::string& name,
+      std::shared_ptr<const core::SesInstance> instance);
+
+  /// Unregisters \p name. NotFound when it is not loaded. Safe while
+  /// solves against \p name are in flight: each solve pinned the
+  /// instance at submission, completes normally, and the storage is
+  /// released when the last pin goes away.
+  util::Status Drop(const std::string& name);
+
+  /// Names of the currently loaded instances, sorted.
+  std::vector<std::string> LoadedInstances() const;
+
+  /// Id-keyed counterparts of the by-reference entry points, solving
+  /// against the instance loaded under \p instance_name. An unknown
+  /// name yields a kNotFound response (for Submit: through Get()).
+  SolveResponse Solve(const std::string& instance_name,
+                      const SolveRequest& request) const;
+  PendingSolve Submit(const std::string& instance_name,
+                      SolveRequest request);
+  std::vector<SolveResponse> SolveBatch(
+      const std::string& instance_name,
       const std::vector<SolveRequest>& requests);
 
   /// Worker threads in the pool.
   size_t num_threads() const { return pool_.num_threads(); }
 
+  /// Requests admitted but not yet started (async paths).
+  size_t queued_requests() const { return dispatch_.queued(); }
+
+  /// The admission bound; 0 = unbounded.
+  size_t max_queued_requests() const { return dispatch_.max_queued(); }
+
  private:
   /// Validates and executes one request end to end.
   SolveResponse RunRequest(const core::SesInstance& instance,
                            const SolveRequest& request) const;
+
+  /// Shared Submit body: \p pin keeps the instance alive for the task's
+  /// lifetime (non-owning for the by-reference overload).
+  PendingSolve SubmitPinned(
+      std::shared_ptr<const core::SesInstance> pin, SolveRequest request);
+
+  /// SolveBatch body over an already-pinned instance.
+  std::vector<SolveResponse> SolveBatchPinned(
+      std::shared_ptr<const core::SesInstance> pin,
+      const std::vector<SolveRequest>& requests);
+
+  /// Looks up a loaded instance; NotFound names the unknown id.
+  util::Result<std::shared_ptr<const core::SesInstance>> Pin(
+      const std::string& instance_name) const;
+
+  /// A handle already resolved with an error — the shape of every
+  /// fail-fast path (validation, admission, unknown instance id).
+  static PendingSolve ResolvedWithError(
+      std::string solver, std::shared_ptr<core::CancelToken> cancel,
+      util::Status status);
+
+  /// Loaded instances, keyed by caller-chosen name. shared_ptr values
+  /// are the pins: an in-flight solve holds one, so Drop only removes
+  /// the map entry and the instance outlives it as long as needed.
+  mutable std::shared_mutex instances_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const core::SesInstance>>
+      instances_;
+
+  // Declared before pool_ so the pool (whose destructor drains pending
+  // dispatch tasks that touch dispatch_) is destroyed first.
+  DispatchQueue dispatch_;
 
   // Mutable: the pool is a thread-safe execution resource, and const
   // entry points (Solve) lend it to solvers whose options ask for
@@ -199,6 +322,14 @@ class Scheduler {
 /// All registered solver names, in presentation order (forwarded from
 /// the core registry so api callers need no core include).
 std::vector<std::string> ListSolvers();
+
+/// Non-owning alias of a caller-owned instance — the idiom for handing
+/// an instance to the shared_ptr LoadInstance overload without a copy.
+/// The caller guarantees \p instance outlives the Drop and every solve
+/// submitted against it (the refcounted pin then protects nothing; it
+/// is the caller's lifetime promise that does).
+std::shared_ptr<const core::SesInstance> BorrowInstance(
+    const core::SesInstance& instance);
 
 }  // namespace ses::api
 

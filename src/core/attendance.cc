@@ -5,14 +5,40 @@
 
 namespace ses::core {
 
-AttendanceModel::AttendanceModel(const SesInstance& instance)
+AttendanceModel::AttendanceModel(const SesInstance& instance,
+                                 size_t sigma_cache_capacity)
     : instance_(&instance),
       schedule_(instance),
       denom_(instance.num_users(), 0.0),
       sched_mass_(instance.num_users(), 0.0),
       sigma_scratch_(instance.num_users(), 0.0f),
-      interval_cache_(instance.num_intervals()) {
+      interval_cache_(instance.num_intervals()),
+      cache_capacity_(sigma_cache_capacity) {
   touched_.reserve(1024);
+  if (cache_capacity_ > 0) ready_intervals_.reserve(cache_capacity_);
+}
+
+void AttendanceModel::EvictLeastRecent() {
+  SES_CHECK(!ready_intervals_.empty()) << "eviction with no ready entry";
+  size_t victim_slot = 0;
+  for (size_t i = 1; i < ready_intervals_.size(); ++i) {
+    if (interval_cache_[ready_intervals_[i]].last_used <
+        interval_cache_[ready_intervals_[victim_slot]].last_used) {
+      victim_slot = i;
+    }
+  }
+  IntervalCache& victim = interval_cache_[ready_intervals_[victim_slot]];
+  victim.ready = false;
+  // Reset the load counter: an evicted interval must prove itself
+  // reload-heavy again, so cyclic working sets larger than the
+  // capacity stop re-materializing on every load.
+  victim.loads = 0;
+  // Swap-with-empty actually releases the memory — the whole point of
+  // the capacity bound.
+  std::vector<std::pair<UserIndex, double>>().swap(victim.competing);
+  std::vector<float>().swap(victim.sigma);
+  ready_intervals_[victim_slot] = ready_intervals_.back();
+  ready_intervals_.pop_back();
 }
 
 void AttendanceModel::LoadInterval(IntervalIndex t) {
@@ -28,6 +54,7 @@ void AttendanceModel::LoadInterval(IntervalIndex t) {
   IntervalCache& cache = interval_cache_[t];
   if (cache.ready) {
     // Fast path: replay the schedule-independent state from the cache.
+    cache.last_used = ++lru_clock_;
     for (const auto& [u, mass] : cache.competing) {
       touched_.push_back(u);
       denom_[u] = mass;
@@ -48,6 +75,13 @@ void AttendanceModel::LoadInterval(IntervalIndex t) {
       // Second load: this interval is being revisited, so snapshot its
       // competing masses (denom_ holds exactly C here — scheduled events
       // are folded in below) and sigma row for every future reload.
+      // Under a capacity bound, make room first (LRU): the cache is pure
+      // memoization, so eviction can never change a result bit.
+      if (cache_capacity_ > 0) {
+        if (ready_intervals_.size() >= cache_capacity_) EvictLeastRecent();
+        ready_intervals_.push_back(t);
+      }
+      cache.last_used = ++lru_clock_;
       cache.competing.reserve(touched_.size());
       for (UserIndex u : touched_) {
         cache.competing.emplace_back(u, denom_[u]);

@@ -43,6 +43,16 @@
 /// same doubles the uncached path accumulates, so results are
 /// bit-for-bit identical with and without the cache
 /// (tests/core_sigma_cache_test.cc pins this).
+///
+/// On paper-scale instances a materialized entry holds up to |U| floats
+/// plus the competing masses, per interval — |T|·|U| worst case per
+/// model. The optional `sigma_cache_capacity` constructor knob
+/// (surfaced as SolverOptions::sigma_cache_capacity) bounds that: at
+/// most `capacity` intervals keep materialized entries, with
+/// least-recently-loaded eviction. An evicted interval falls back to
+/// the uncached scratch path until it again proves reload-heavy, so
+/// the cap is a pure memory/speed trade — results stay bit-identical
+/// at any capacity.
 
 #include <cstdint>
 #include <span>
@@ -58,7 +68,10 @@ namespace ses::core {
 /// Incremental schedule + utility tracker.
 class AttendanceModel {
  public:
-  explicit AttendanceModel(const SesInstance& instance);
+  /// \param sigma_cache_capacity max intervals with materialized cache
+  /// entries (LRU-evicted beyond that); 0 = unlimited.
+  explicit AttendanceModel(const SesInstance& instance,
+                           size_t sigma_cache_capacity = 0);
 
   // sigma_row_ points into this object's own buffers (scratch or the
   // interval cache); a copied or moved model would silently dangle.
@@ -103,15 +116,24 @@ class AttendanceModel {
 
   /// Schedule-independent per-interval state, cached on second load.
   struct IntervalCache {
-    /// Saturating load counter; the cache materializes at 2.
+    /// Saturating load counter; the cache materializes at 2. Reset on
+    /// eviction, so an evicted interval must prove itself reload-heavy
+    /// again before re-materializing — a cyclic working set larger
+    /// than the capacity degrades toward the scratch path instead of
+    /// re-materializing (and re-evicting) on every single load.
     uint8_t loads = 0;
     bool ready = false;
+    /// LRU stamp: value of lru_clock_ at the last load of this entry.
+    uint64_t last_used = 0;
     /// Aggregated competing-event interest mass per user (C), doubles to
     /// keep cached reloads bitwise identical to the uncached path.
     std::vector<std::pair<UserIndex, double>> competing;
     /// Dense sigma(u, t) row.
     std::vector<float> sigma;
   };
+
+  /// Frees the least-recently-loaded ready entry (capacity reached).
+  void EvictLeastRecent();
 
   const SesInstance* instance_;
   Schedule schedule_;
@@ -123,6 +145,12 @@ class AttendanceModel {
   const float* sigma_row_ = nullptr;  ///< sigma(u, loaded interval)
   std::vector<UserIndex> touched_;  ///< users with non-zero scratch
   std::vector<IntervalCache> interval_cache_;  ///< one slot per interval
+  size_t cache_capacity_ = 0;  ///< max ready entries; 0 = unlimited
+  uint64_t lru_clock_ = 0;     ///< monotonic load stamp source
+  /// Intervals with a ready cache entry, maintained only under a
+  /// capacity bound (size <= cache_capacity_) so eviction scans
+  /// O(capacity) candidates, not all |T| slots.
+  std::vector<IntervalIndex> ready_intervals_;
 
   double total_utility_ = 0.0;
   uint64_t gain_evaluations_ = 0;

@@ -12,8 +12,8 @@ namespace {
 
 /// DFS state shared across the recursion.
 struct SearchContext {
-  explicit SearchContext(const SesInstance& inst)
-      : instance(&inst), model(inst) {}
+  SearchContext(const SesInstance& inst, size_t sigma_cache_capacity)
+      : instance(&inst), model(inst, sigma_cache_capacity) {}
 
   const SesInstance* instance;
   AttendanceModel model;
@@ -102,7 +102,7 @@ util::Result<SolverResult> ExactSolver::DoSolve(const SesInstance& instance,
                                                 const SolveContext& context) {
   util::WallTimer timer;
 
-  SearchContext ctx(instance);
+  SearchContext ctx(instance, options.sigma_cache_capacity);
   ctx.context = &context;
   ctx.k = static_cast<size_t>(options.k);
   ctx.max_nodes = options.max_nodes;
@@ -113,7 +113,7 @@ util::Result<SolverResult> ExactSolver::DoSolve(const SesInstance& instance,
   // the first search node.
   ctx.event_upper_bound.assign(instance.num_events(), 0.0);
   {
-    AttendanceModel probe(instance);
+    AttendanceModel probe(instance, options.sigma_cache_capacity);
     for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
       if (context.CheckStop(&ctx.termination)) break;
       for (EventIndex e = 0; e < instance.num_events(); ++e) {

@@ -32,7 +32,7 @@ util::Result<SolverResult> LazyGreedySolver::DoSolve(
     const SolveContext& context) {
   util::WallTimer timer;
 
-  AttendanceModel model(instance);
+  AttendanceModel model(instance, options.sigma_cache_capacity);
   SES_RETURN_IF_ERROR(ApplyWarmStart(model, options.warm_start));
   SolverStats stats;
   util::Status termination;

@@ -131,7 +131,7 @@ util::Result<SolverResult> LocalSearchSolver::DoSolve(
     base = std::move(seeded).value();
   }
 
-  AttendanceModel model(instance);
+  AttendanceModel model(instance, options.sigma_cache_capacity);
   for (const Assignment& a : base.assignments) {
     model.Apply(a.event, a.interval);
   }

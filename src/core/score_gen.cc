@@ -58,7 +58,7 @@ ScoreGenResult GenerateAssignmentScores(const SesInstance& instance,
 
   if (max_shards == 1 || num_intervals <= 1) {
     // Serial reference path: one model, no pool.
-    AttendanceModel model(instance);
+    AttendanceModel model(instance, options.sigma_cache_capacity);
     SES_CHECK(ApplyWarmStart(model, options.warm_start).ok())
         << "warm start must be validated before score generation";
     result.gain_evaluations = ScoreRange(instance, model, context, 0,
@@ -94,7 +94,7 @@ ScoreGenResult GenerateAssignmentScores(const SesInstance& instance,
         // scratch and is not shareable across threads. Replaying the
         // validated warm start puts every model in the exact schedule
         // state the serial pass scores under.
-        AttendanceModel model(instance);
+        AttendanceModel model(instance, options.sigma_cache_capacity);
         SES_CHECK(ApplyWarmStart(model, options.warm_start).ok())
             << "warm start must be validated before score generation";
         util::Status termination;

@@ -61,6 +61,16 @@ struct SolverOptions {
   /// this value — only wall-clock time changes.
   int64_t threads = 1;
 
+  /// Memory bound for AttendanceModel's per-interval sigma/competing
+  /// cache: at most this many intervals keep materialized cache entries
+  /// (least-recently-loaded evicted beyond that). 0 = unlimited, the
+  /// historical behavior. A materialized entry costs up to |U| floats
+  /// plus the interval's competing masses, so move-based solvers on
+  /// paper-scale instances can hold |T|·|U| floats per model without a
+  /// cap. Purely a memory/speed trade: results are bit-identical at any
+  /// capacity (tests/core_sigma_cache_test.cc pins capacity 2).
+  size_t sigma_cache_capacity = 0;
+
   /// Borrowed pool for score-generation shards; not owned, may be null.
   /// api::Scheduler fills this in with its own pool for requests that
   /// ask for threads != 1 (ThreadPool::ParallelFor is safe to call from

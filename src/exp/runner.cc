@@ -1,5 +1,8 @@
 #include "exp/runner.h"
 
+#include <atomic>
+#include <memory>
+
 #include "api/scheduler.h"
 #include "core/validate.h"
 #include "util/logging.h"
@@ -17,6 +20,30 @@ api::Scheduler& SharedScheduler() {
   return *scheduler;
 }
 
+/// Scoped session-cache registration of one sweep point's instance:
+/// loads under a process-unique name on construction, drops on
+/// destruction. The load is a non-owning borrow — the instance outlives
+/// the (synchronous) batch below — and makes concurrent sweep workers
+/// exercise the scheduler's multi-instance surface instead of each
+/// threading `const SesInstance&` through the fan-out.
+class ScopedSession {
+ public:
+  explicit ScopedSession(const core::SesInstance& instance) {
+    static std::atomic<uint64_t> counter{0};
+    name_ = "exp/point-" + std::to_string(counter.fetch_add(1));
+    const util::Status loaded =
+        SharedScheduler().LoadInstance(name_, api::BorrowInstance(instance));
+    SES_CHECK(loaded.ok()) << loaded.ToString();
+  }
+  ~ScopedSession() {
+    SES_CHECK(SharedScheduler().Drop(name_).ok());
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
 }  // namespace
 
 util::Result<std::vector<RunRecord>> RunSolvers(
@@ -30,12 +57,16 @@ util::Result<std::vector<RunRecord>> RunSolvers(
     api::SolveRequest request;
     request.solver = name;
     request.options = options;
+    // Sweep work is throughput traffic: it must never delay a
+    // latency-sensitive request sharing the process-wide scheduler.
+    request.priority = api::Priority::kBatch;
     requests.push_back(std::move(request));
   }
 
   std::vector<api::SolveResponse> responses;
   if (execution == SolverExecution::kParallel) {
-    responses = SharedScheduler().SolveBatch(instance, requests);
+    const ScopedSession session(instance);
+    responses = SharedScheduler().SolveBatch(session.name(), requests);
   } else {
     // Timing-clean reference: inline on this thread, no pool involved.
     responses.reserve(requests.size());

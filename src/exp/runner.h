@@ -8,7 +8,10 @@
 ///
 /// RunSolvers is a thin adapter over api::Scheduler::SolveBatch: the
 /// per-point solver loop fans out across a process-shared scheduler pool
-/// and the records come back in solver-list order.
+/// and the records come back in solver-list order. The parallel path
+/// registers each sweep point's instance in the scheduler's session
+/// cache (LoadInstance / solve-by-id / Drop) at Batch priority, so
+/// sweeps coexist with latency-sensitive traffic on the same scheduler.
 
 #include <string>
 #include <vector>

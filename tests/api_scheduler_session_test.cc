@@ -1,0 +1,176 @@
+/// Lifecycle tests of api::Scheduler's multi-instance session cache:
+/// LoadInstance (owning and shared/borrowed), id-keyed Solve / Submit /
+/// SolveBatch, LoadedInstances, Drop — including the contract the
+/// serving layer leans on: Drop while a solve against that instance is
+/// in flight neither crashes nor invalidates that solve's response.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "api/scheduler.h"
+#include "core/validate.h"
+#include "tests/test_util.h"
+
+namespace ses::api {
+namespace {
+
+SolveRequest RequestFor(const std::string& solver, int64_t k = 5,
+                        uint64_t seed = 1) {
+  SolveRequest request;
+  request.solver = solver;
+  request.options.k = k;
+  request.options.seed = seed;
+  return request;
+}
+
+TEST(SessionCacheTest, LoadSolveByIdMatchesSolveByReference) {
+  const core::SesInstance reference = test::MakeMediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  // Owning load: an identically-built copy moves into the scheduler.
+  ASSERT_TRUE(
+      scheduler.LoadInstance("meetup", test::MakeMediumInstance()).ok());
+  EXPECT_EQ(scheduler.LoadedInstances(),
+            std::vector<std::string>{"meetup"});
+
+  for (const char* solver : {"grd", "lazy", "rand"}) {
+    SCOPED_TRACE(solver);
+    const SolveResponse by_id =
+        scheduler.Solve("meetup", RequestFor(solver));
+    const SolveResponse by_ref =
+        scheduler.Solve(reference, RequestFor(solver));
+    ASSERT_TRUE(by_id.status.ok()) << by_id.status.ToString();
+    EXPECT_EQ(by_id.schedule, by_ref.schedule);
+    EXPECT_EQ(by_id.utility, by_ref.utility);
+  }
+}
+
+TEST(SessionCacheTest, DoubleLoadIsAlreadyExists) {
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  ASSERT_TRUE(scheduler.LoadInstance("a", test::MakeMediumInstance()).ok());
+  const util::Status again =
+      scheduler.LoadInstance("a", test::MakeMediumInstance(7));
+  EXPECT_EQ(again.code(), util::StatusCode::kAlreadyExists);
+  EXPECT_NE(again.message().find("'a'"), std::string::npos)
+      << again.message();
+  // The original stays loaded and usable.
+  EXPECT_TRUE(scheduler.Solve("a", RequestFor("rand")).status.ok());
+  // Drop + reload is the sanctioned replacement path.
+  ASSERT_TRUE(scheduler.Drop("a").ok());
+  EXPECT_TRUE(scheduler.LoadInstance("a", test::MakeMediumInstance(7)).ok());
+}
+
+TEST(SessionCacheTest, UnknownIdIsNotFoundOnEveryEntryPoint) {
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+
+  const SolveResponse solve =
+      scheduler.Solve("ghost", RequestFor("grd"));
+  EXPECT_EQ(solve.status.code(), util::StatusCode::kNotFound);
+  EXPECT_NE(solve.status.message().find("'ghost'"), std::string::npos);
+
+  PendingSolve pending = scheduler.Submit("ghost", RequestFor("grd"));
+  EXPECT_TRUE(pending.Ready());  // resolves without queueing work
+  EXPECT_EQ(pending.Get().status.code(), util::StatusCode::kNotFound);
+
+  const std::vector<SolveResponse> batch = scheduler.SolveBatch(
+      "ghost", {RequestFor("grd"), RequestFor("rand")});
+  ASSERT_EQ(batch.size(), 2u);
+  for (const SolveResponse& response : batch) {
+    EXPECT_EQ(response.status.code(), util::StatusCode::kNotFound);
+    // The response still echoes which solver the slot asked for.
+    EXPECT_FALSE(response.solver.empty());
+  }
+
+  EXPECT_EQ(scheduler.Drop("ghost").code(), util::StatusCode::kNotFound);
+}
+
+TEST(SessionCacheTest, DropDuringInFlightSolveIsSafe) {
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  ASSERT_TRUE(
+      scheduler.LoadInstance("live", test::MakeMediumInstance()).ok());
+
+  // A long cancellable run against the loaded instance; the work
+  // counter proves the solver is actually executing before the Drop.
+  SolveRequest request = RequestFor("anneal");
+  request.options.max_iterations = 4'000'000'000LL;
+  request.options.cooling = 0.9999999;
+  std::atomic<uint64_t> progress{0};
+  request.work_counter = &progress;
+  PendingSolve pending = scheduler.Submit("live", std::move(request));
+  while (progress.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Drop while the solve runs: the map entry goes away immediately...
+  ASSERT_TRUE(scheduler.Drop("live").ok());
+  EXPECT_TRUE(scheduler.LoadedInstances().empty());
+  EXPECT_EQ(scheduler.Solve("live", RequestFor("grd")).status.code(),
+            util::StatusCode::kNotFound);
+
+  // ...but the in-flight solve pinned the instance and must finish with
+  // a valid response against it.
+  pending.Cancel();
+  const SolveResponse response = pending.Get();
+  EXPECT_EQ(response.status.code(), util::StatusCode::kCancelled);
+  EXPECT_TRUE(response.has_schedule());
+  const core::SesInstance reference = test::MakeMediumInstance();
+  EXPECT_TRUE(
+      core::ValidateAssignments(reference, response.schedule).ok());
+}
+
+TEST(SessionCacheTest, BorrowedSharedPtrLoadSolvesWithoutCopy) {
+  const core::SesInstance owned = test::MakeMediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  // Non-owning alias: the test owns the instance; the scheduler only
+  // references it (the caller guarantees lifetime — see LoadInstance).
+  ASSERT_TRUE(
+      scheduler.LoadInstance("borrowed", BorrowInstance(owned)).ok());
+  const SolveResponse by_id =
+      scheduler.Solve("borrowed", RequestFor("grd"));
+  const SolveResponse by_ref = scheduler.Solve(owned, RequestFor("grd"));
+  ASSERT_TRUE(by_id.status.ok());
+  EXPECT_EQ(by_id.schedule, by_ref.schedule);
+  EXPECT_EQ(by_id.utility, by_ref.utility);
+  ASSERT_TRUE(scheduler.Drop("borrowed").ok());
+}
+
+TEST(SessionCacheTest, NullSharedPtrLoadIsInvalidArgument) {
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  EXPECT_EQ(scheduler
+                .LoadInstance("null",
+                              std::shared_ptr<const core::SesInstance>())
+                .code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(scheduler.LoadedInstances().empty());
+}
+
+TEST(SessionCacheTest, ManyInstancesSolveAgainstTheRightOne) {
+  Scheduler scheduler(SchedulerOptions{.num_threads = 2});
+  // Distinct seeds produce distinct instances; the id-keyed responses
+  // must match per-seed references, proving no cross-instance mixups.
+  const std::vector<uint64_t> seeds{3, 11, 29};
+  for (uint64_t seed : seeds) {
+    ASSERT_TRUE(scheduler
+                    .LoadInstance("seed-" + std::to_string(seed),
+                                  test::MakeMediumInstance(seed))
+                    .ok());
+  }
+  EXPECT_EQ(scheduler.LoadedInstances().size(), seeds.size());
+  for (uint64_t seed : seeds) {
+    SCOPED_TRACE(seed);
+    const core::SesInstance reference = test::MakeMediumInstance(seed);
+    const SolveResponse by_id =
+        scheduler.Solve("seed-" + std::to_string(seed), RequestFor("grd"));
+    const SolveResponse by_ref =
+        scheduler.Solve(reference, RequestFor("grd"));
+    ASSERT_TRUE(by_id.status.ok());
+    EXPECT_EQ(by_id.schedule, by_ref.schedule);
+    EXPECT_EQ(by_id.utility, by_ref.utility);
+  }
+}
+
+}  // namespace
+}  // namespace ses::api

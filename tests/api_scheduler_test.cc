@@ -14,13 +14,9 @@ namespace ses::api {
 namespace {
 
 core::SesInstance MediumInstance(uint64_t seed = 42) {
-  test::RandomInstanceConfig config;
-  config.seed = seed;
-  config.num_users = 60;
-  config.num_events = 20;
-  config.num_intervals = 8;
-  config.theta = 15.0;
-  return test::MakeRandomInstance(config);
+  // Shared fixture preset (tests/test_util.h) — also used by the
+  // session-cache and stress suites.
+  return test::MakeMediumInstance(seed);
 }
 
 SolveRequest RequestFor(const std::string& solver, int64_t k = 5,
@@ -227,6 +223,138 @@ TEST(SchedulerBatchTest, InvalidRequestFailsOnlyItsSlot) {
   EXPECT_TRUE(responses[0].status.ok());
   EXPECT_EQ(responses[1].status.code(), util::StatusCode::kNotFound);
   EXPECT_TRUE(responses[2].status.ok());
+}
+
+// --- Admission control ---------------------------------------------------
+
+/// A request sized to run for minutes unless cancelled: the tool for
+/// keeping a worker provably busy while the queue is inspected.
+SolveRequest BlockerRequest() {
+  SolveRequest request = RequestFor("anneal");
+  request.options.max_iterations = 4'000'000'000LL;
+  request.options.cooling = 0.9999999;
+  request.cancel = std::make_shared<core::CancelToken>();
+  return request;
+}
+
+/// Spins until the scheduler's dispatch queue is empty (every admitted
+/// request has been picked up by a worker).
+void WaitForDrainedQueue(const Scheduler& scheduler) {
+  while (scheduler.queued_requests() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(SchedulerAdmissionTest, OverflowFailsFastWithResourceExhausted) {
+  const core::SesInstance instance = MediumInstance();
+  SchedulerOptions options;
+  options.num_threads = 1;
+  options.max_queued_requests = 2;
+  Scheduler scheduler(options);
+  EXPECT_EQ(scheduler.max_queued_requests(), 2u);
+
+  // Occupy the only worker, then wait until the blocker has actually
+  // been dequeued so the two admissions below are exactly the capacity.
+  SolveRequest blocker = BlockerRequest();
+  auto blocker_cancel = blocker.cancel;
+  PendingSolve running = scheduler.Submit(instance, std::move(blocker));
+  WaitForDrainedQueue(scheduler);
+
+  PendingSolve queued_a = scheduler.Submit(instance, RequestFor("rand"));
+  PendingSolve queued_b = scheduler.Submit(instance, RequestFor("rand"));
+  EXPECT_EQ(scheduler.queued_requests(), 2u);
+
+  // The queue is full: the refusal must resolve immediately (fail-fast,
+  // no blocking) with a message reporting depth and limit.
+  PendingSolve refused = scheduler.Submit(instance, RequestFor("grd"));
+  EXPECT_TRUE(refused.Ready());
+  const SolveResponse refusal = refused.Get();
+  EXPECT_EQ(refusal.status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_NE(refusal.status.message().find("2 of 2"), std::string::npos)
+      << refusal.status.message();
+  EXPECT_FALSE(refusal.has_schedule());
+
+  // A refusal loses nothing that was admitted: unblock and collect.
+  blocker_cancel->Cancel();
+  EXPECT_EQ(running.Get().status.code(), util::StatusCode::kCancelled);
+  EXPECT_TRUE(queued_a.Get().status.ok());
+  EXPECT_TRUE(queued_b.Get().status.ok());
+  EXPECT_EQ(scheduler.queued_requests(), 0u);
+}
+
+TEST(SchedulerAdmissionTest, BatchOverflowFailsOnlyTheOverflowedSlots) {
+  const core::SesInstance instance = MediumInstance();
+  SchedulerOptions options;
+  options.num_threads = 1;
+  options.max_queued_requests = 3;
+  Scheduler scheduler(options);
+
+  SolveRequest blocker = BlockerRequest();
+  auto blocker_cancel = blocker.cancel;
+  PendingSolve running = scheduler.Submit(instance, std::move(blocker));
+  WaitForDrainedQueue(scheduler);
+
+  // Six requests against three slots: the first three are admitted, the
+  // rest resolve as per-slot kResourceExhausted responses in order.
+  std::vector<SolveRequest> requests;
+  for (int i = 0; i < 6; ++i) requests.push_back(RequestFor("rand"));
+  std::thread unblock([&] {
+    // SolveBatch blocks collecting responses; release the worker once
+    // the batch has had time to stage its submissions.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    blocker_cancel->Cancel();
+  });
+  const std::vector<SolveResponse> responses =
+      scheduler.SolveBatch(instance, requests);
+  unblock.join();
+  ASSERT_EQ(responses.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(responses[i].status.ok()) << i;
+  }
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(responses[i].status.code(),
+              util::StatusCode::kResourceExhausted)
+        << i;
+  }
+  EXPECT_EQ(running.Get().status.code(), util::StatusCode::kCancelled);
+}
+
+TEST(SchedulerAdmissionTest, UnboundedByDefault) {
+  const core::SesInstance instance = MediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+  EXPECT_EQ(scheduler.max_queued_requests(), 0u);
+  // Way more requests than workers: all admitted, none refused.
+  std::vector<SolveRequest> requests;
+  for (int i = 0; i < 32; ++i) requests.push_back(RequestFor("rand"));
+  for (const SolveResponse& response :
+       scheduler.SolveBatch(instance, requests)) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+TEST(SchedulerAdmissionTest, ValidationFailuresDoNotConsumeQueueSlots) {
+  const core::SesInstance instance = MediumInstance();
+  SchedulerOptions options;
+  options.num_threads = 1;
+  options.max_queued_requests = 1;
+  Scheduler scheduler(options);
+
+  SolveRequest blocker = BlockerRequest();
+  auto blocker_cancel = blocker.cancel;
+  PendingSolve running = scheduler.Submit(instance, std::move(blocker));
+  WaitForDrainedQueue(scheduler);
+
+  // Invalid requests resolve up front; the single queue slot stays free.
+  for (int i = 0; i < 4; ++i) {
+    PendingSolve invalid = scheduler.Submit(instance, RequestFor("bogus"));
+    EXPECT_EQ(invalid.Get().status.code(), util::StatusCode::kNotFound);
+  }
+  PendingSolve admitted = scheduler.Submit(instance, RequestFor("rand"));
+  EXPECT_EQ(scheduler.queued_requests(), 1u);
+
+  blocker_cancel->Cancel();
+  EXPECT_EQ(running.Get().status.code(), util::StatusCode::kCancelled);
+  EXPECT_TRUE(admitted.Get().status.ok());
 }
 
 // --- Work-counter hook ---------------------------------------------------

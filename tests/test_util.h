@@ -67,6 +67,25 @@ inline core::SesInstance MakeRandomInstance(
   return std::move(instance).value();
 }
 
+/// The medium preset shared by the api-layer suites (scheduler, session
+/// cache, stress): big enough that solves do measurable work, small
+/// enough for sanitizer CI. Centralized here so every suite exercises
+/// the same shape instead of hand-rolling near-duplicates.
+inline RandomInstanceConfig MediumInstanceConfig(uint64_t seed = 42) {
+  RandomInstanceConfig config;
+  config.seed = seed;
+  config.num_users = 60;
+  config.num_events = 20;
+  config.num_intervals = 8;
+  config.theta = 15.0;
+  return config;
+}
+
+/// Builds the medium preset directly.
+inline core::SesInstance MakeMediumInstance(uint64_t seed = 42) {
+  return MakeRandomInstance(MediumInstanceConfig(seed));
+}
+
 }  // namespace ses::test
 
 #endif  // SES_TESTS_TEST_UTIL_H_

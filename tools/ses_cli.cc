@@ -11,8 +11,10 @@
 ///       persists the SES instance.
 ///
 ///   solve --instance=DIR [--solver=grd --k=N --seed=N
-///         --budget-seconds=X]
-///       Loads an instance, runs a solver through ses::api::Scheduler,
+///         --budget-seconds=X --priority=normal --max-queued=N]
+///       Loads an instance into the scheduler's session cache, submits a
+///       solve against it by id through ses::api::Scheduler (at the
+///       requested queue priority, under the requested admission bound),
 ///       prints the schedule summary. With a budget, an expired deadline
 ///       still prints the best schedule found so far.
 ///
@@ -130,20 +132,27 @@ int CmdBuildInstance(int argc, const char* const* argv) {
 int CmdSolve(int argc, const char* const* argv) {
   std::string instance_dir;
   std::string solver_name = "grd";
+  std::string priority_name = "normal";
   int64_t k = 100;
   int64_t seed = 1;
   int64_t solver_threads = 1;
+  int64_t max_queued = 0;
   double budget_seconds = 0.0;
   bool print_schedule = false;
   util::FlagSet flags("ses_cli solve");
   flags.AddString("instance", &instance_dir, "instance directory");
   flags.AddString("solver", &solver_name,
                   "solver name (see `ses_cli solve --solver=help`)");
+  flags.AddString("priority", &priority_name,
+                  "queue priority: high, normal, or batch");
   flags.AddInt("k", &k, "schedule size");
   flags.AddInt("seed", &seed, "solver seed");
   flags.AddInt("solver-threads", &solver_threads,
                "score-generation shards for grd/lazy (1 = serial, 0 = all "
                "cores); the schedule is bit-identical at any value");
+  flags.AddInt("max-queued", &max_queued,
+               "admission bound on queued requests (0 = unbounded); a "
+               "full queue fails fast with RESOURCE_EXHAUSTED");
   flags.AddDouble("budget-seconds", &budget_seconds,
                   "wall-clock budget; 0 = unlimited");
   flags.AddBool("print-schedule", &print_schedule,
@@ -158,16 +167,32 @@ int CmdSolve(int argc, const char* const* argv) {
     return Fail(
         util::Status::InvalidArgument("--solver-threads must be >= 0"));
   }
+  if (max_queued < 0) {
+    return Fail(util::Status::InvalidArgument("--max-queued must be >= 0"));
+  }
+  api::Priority priority = api::Priority::kNormal;
+  if (priority_name == "high") {
+    priority = api::Priority::kHigh;
+  } else if (priority_name == "batch") {
+    priority = api::Priority::kBatch;
+  } else if (priority_name != "normal") {
+    return Fail(util::Status::InvalidArgument(
+        "--priority must be high, normal, or batch (got '" + priority_name +
+        "')"));
+  }
   auto instance = core::LoadInstance(instance_dir);
   if (!instance.ok()) return Fail(instance.status());
 
   // The scheduler pool doubles as the score-generation shard pool; size
   // it to the requested intra-solver parallelism (0 = all cores, N
   // capped at the core count — the shared ForSolverThreads policy).
-  api::Scheduler scheduler(
-      api::SchedulerOptions::ForSolverThreads(solver_threads));
+  api::SchedulerOptions scheduler_options =
+      api::SchedulerOptions::ForSolverThreads(solver_threads);
+  scheduler_options.max_queued_requests = static_cast<size_t>(max_queued);
+  api::Scheduler scheduler(scheduler_options);
   api::SolveRequest request;
   request.solver = solver_name;
+  request.priority = priority;
   request.options.k = k;
   request.options.seed = static_cast<uint64_t>(seed);
   request.options.threads = solver_threads;
@@ -187,7 +212,18 @@ int CmdSolve(int argc, const char* const* argv) {
     return Fail(status);
   }
 
-  const api::SolveResponse response = scheduler.Solve(*instance, request);
+  // The service-shell path end to end: register the instance in the
+  // session cache (non-owning borrow; `instance` outlives the solve),
+  // submit against its id at the requested priority, collect the
+  // response. Admission and priority only matter with concurrent
+  // clients, but the CLI exercising the same surface keeps it honest.
+  if (auto status =
+          scheduler.LoadInstance("cli", api::BorrowInstance(*instance));
+      !status.ok()) {
+    return Fail(status);
+  }
+  api::PendingSolve pending = scheduler.Submit("cli", std::move(request));
+  const api::SolveResponse response = pending.Get();
   if (!response.has_schedule()) return Fail(response.status);
   if (auto status = core::ValidateAssignments(*instance, response.schedule);
       !status.ok()) {
