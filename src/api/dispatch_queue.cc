@@ -1,8 +1,7 @@
 #include "api/dispatch_queue.h"
 
 #include <utility>
-
-#include "util/logging.h"
+#include <vector>
 
 namespace ses::api {
 
@@ -19,21 +18,58 @@ const char* PriorityToString(Priority priority) {
 }
 
 bool DispatchQueue::TryDispatch(util::ThreadPool& pool, Priority priority,
-                                std::function<void()> job,
+                                DispatchJob job,
                                 size_t* depth_at_refusal) {
+  const size_t lane = static_cast<size_t>(priority);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (max_queued_ > 0 && queued_ >= max_queued_) {
       if (depth_at_refusal != nullptr) *depth_at_refusal = queued_;
       return false;
     }
-    lanes_[static_cast<size_t>(priority)].push_back(std::move(job));
+    lanes_[lane].push_back(std::move(job));
     ++queued_;
+    if (metrics_.lane_depth[lane] != nullptr) {
+      metrics_.lane_depth[lane]->Increment();
+    }
   }
-  // One pool task per admitted job: the counts always match, so RunNext
-  // is guaranteed to find *a* job — just not necessarily this one.
+  // One pool task per admitted job. RunNext is not guaranteed to find
+  // *this* job (a more urgent one drains first) or, after a sweep, any
+  // job at all — but an admitted job is always either run by some pool
+  // task or expired by a sweep, exactly once.
   pool.Submit([this] { RunNext(); });
   return true;
+}
+
+size_t DispatchQueue::SweepExpired() {
+  // Collect under the lock, run expire handlers outside it: handlers
+  // resolve caller futures and must not hold up dispatchers.
+  std::vector<DispatchJob> expired;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+      std::deque<DispatchJob>& entries = lanes_[lane];
+      for (auto it = entries.begin(); it != entries.end();) {
+        if (it->expire != nullptr && it->deadline.Expired()) {
+          expired.push_back(std::move(*it));
+          it = entries.erase(it);
+          --queued_;
+          if (metrics_.lane_depth[lane] != nullptr) {
+            metrics_.lane_depth[lane]->Decrement();
+          }
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  for (DispatchJob& job : expired) {
+    if (metrics_.deadline_expired_in_queue != nullptr) {
+      metrics_.deadline_expired_in_queue->Increment();
+    }
+    job.expire();
+  }
+  return expired.size();
 }
 
 size_t DispatchQueue::queued() const {
@@ -42,19 +78,35 @@ size_t DispatchQueue::queued() const {
 }
 
 void DispatchQueue::RunNext() {
-  std::function<void()> job;
+  DispatchJob job;
+  bool found = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::deque<std::function<void()>>& lane : lanes_) {
-      if (lane.empty()) continue;
-      job = std::move(lane.front());
-      lane.pop_front();
+    for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+      if (lanes_[lane].empty()) continue;
+      job = std::move(lanes_[lane].front());
+      lanes_[lane].pop_front();
+      --queued_;
+      if (metrics_.lane_depth[lane] != nullptr) {
+        metrics_.lane_depth[lane]->Decrement();
+      }
+      found = true;
       break;
     }
-    SES_CHECK(job != nullptr) << "dispatch task without a queued job";
-    --queued_;
   }
-  job();
+  // Empty lanes are legitimate: SweepExpired may have drained entries
+  // whose "run the best queued job" pool tasks had not fired yet.
+  if (!found) return;
+  if (job.expire != nullptr && job.deadline.Expired()) {
+    // Dead on arrival at a worker: answer without running the job, so
+    // an expired request costs microseconds instead of solver time.
+    if (metrics_.deadline_expired_in_queue != nullptr) {
+      metrics_.deadline_expired_in_queue->Increment();
+    }
+    job.expire();
+    return;
+  }
+  job.run();
 }
 
 }  // namespace ses::api

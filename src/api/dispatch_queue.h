@@ -2,8 +2,8 @@
 #define SES_API_DISPATCH_QUEUE_H_
 
 /// \file
-/// Priority-aware, admission-controlled dispatch queue feeding a
-/// util::ThreadPool.
+/// Priority-aware, admission-controlled, deadline-aware dispatch queue
+/// feeding a util::ThreadPool.
 ///
 /// util::ThreadPool deliberately stays a plain FIFO executor — its
 /// ParallelFor re-entrancy contract is easiest to reason about that way
@@ -20,6 +20,15 @@
 /// nothing) once `max_queued` jobs are waiting, instead of letting a
 /// burst queue unbounded work. The caller turns a refusal into a typed
 /// kResourceExhausted response; nothing here blocks or aborts.
+///
+/// Deadline awareness: a job may carry a core::Deadline plus an
+/// `expire` handler. When a worker dequeues a job whose deadline has
+/// already passed, it runs the (cheap) `expire` handler instead of the
+/// job — a dead request is answered without ever occupying a worker for
+/// solver time, so it cannot delay live requests behind it. SweepExpired
+/// proactively drops every expired queued entry the same way; the
+/// scheduler can call it periodically so dead requests do not even hold
+/// queue slots until dequeue.
 
 #include <array>
 #include <cstddef>
@@ -27,6 +36,8 @@
 #include <functional>
 #include <mutex>
 
+#include "core/solve_context.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ses::api {
@@ -39,16 +50,49 @@ enum class Priority {
   kBatch = 2,   ///< throughput work, yields to everything else
 };
 
+/// Number of priority lanes (the Priority enum's cardinality).
+inline constexpr size_t kNumPriorityLanes = 3;
+
 /// Stable lowercase name ("high", "normal", "batch") for logs and flags.
 const char* PriorityToString(Priority priority);
+
+/// One unit of work for the queue: the job body plus optional deadline
+/// handling.
+struct DispatchJob {
+  /// The job body; runs on a pool worker when this entry is the most
+  /// urgent queued one.
+  std::function<void()> run;
+
+  /// Wall-clock deadline; default never expires (the job always runs).
+  core::Deadline deadline;
+
+  /// Runs *instead of* `run` when the deadline has already expired at
+  /// dequeue (or sweep) time. Must be cheap — it executes on a worker
+  /// (dequeue) or on the sweeper (SweepExpired) and typically just
+  /// resolves the caller's future with kDeadlineExceeded. When null, an
+  /// expired job runs normally (pre-deadline-awareness behavior).
+  std::function<void()> expire;
+};
+
+/// Optional observability hooks for a DispatchQueue, all nullable;
+/// pointees must outlive the queue. Updated under the queue's own
+/// lock-fenced transitions, so gauge values always agree with queued().
+struct DispatchQueueMetrics {
+  /// Per-lane admitted-but-not-started depth, indexed by Priority.
+  std::array<util::Gauge*, kNumPriorityLanes> lane_depth{};
+  /// Jobs whose deadline expired while queued (dropped at dequeue or
+  /// swept); their `expire` handler ran instead of the job body.
+  util::Counter* deadline_expired_in_queue = nullptr;
+};
 
 /// Bounded three-lane priority queue in front of a util::ThreadPool.
 /// Thread-safe; one instance is meant to be shared by many submitters.
 class DispatchQueue {
  public:
   /// \param max_queued admitted-but-not-started bound; 0 = unbounded.
-  explicit DispatchQueue(size_t max_queued = 0)
-      : max_queued_(max_queued) {}
+  explicit DispatchQueue(size_t max_queued = 0,
+                         DispatchQueueMetrics metrics = {})
+      : max_queued_(max_queued), metrics_(metrics) {}
 
   DispatchQueue(const DispatchQueue&) = delete;
   DispatchQueue& operator=(const DispatchQueue&) = delete;
@@ -58,30 +102,39 @@ class DispatchQueue {
   /// and, when \p depth_at_refusal is non-null, stores the queue depth
   /// observed under the admission lock (a re-read after returning could
   /// contradict the refusal once workers drain concurrently). An
-  /// admitted job runs exactly once, after every queued job with a more
-  /// urgent lane (and every earlier job in its own lane) has been
-  /// picked up.
+  /// admitted job runs (or, expired, has its `expire` handler run)
+  /// exactly once, after every queued job with a more urgent lane (and
+  /// every earlier job in its own lane) has been picked up.
   ///
   /// The queue must outlive every pool task it schedules; destroy (or
   /// drain) the pool before destroying the queue.
   bool TryDispatch(util::ThreadPool& pool, Priority priority,
-                   std::function<void()> job,
-                   size_t* depth_at_refusal = nullptr);
+                   DispatchJob job, size_t* depth_at_refusal = nullptr);
 
-  /// Jobs admitted and still waiting for a worker.
+  /// Removes every queued entry whose deadline has expired and runs its
+  /// `expire` handler (on the calling thread). Entries without an
+  /// `expire` handler are left in place. Returns the number of entries
+  /// dropped. Safe to call concurrently with dispatch and dequeue.
+  size_t SweepExpired();
+
+  /// Jobs admitted and still waiting for a worker. Per-lane depth is
+  /// published through DispatchQueueMetrics::lane_depth gauges.
   size_t queued() const;
 
   /// The admission bound; 0 = unbounded.
   size_t max_queued() const { return max_queued_; }
 
  private:
-  /// Pops and runs the most urgent queued job (pool-task body).
+  /// Pops and runs the most urgent queued job (pool-task body). A no-op
+  /// when the lanes are empty, which happens when SweepExpired removed
+  /// entries whose pool tasks had not fired yet.
   void RunNext();
 
   const size_t max_queued_;
+  const DispatchQueueMetrics metrics_;
   mutable std::mutex mutex_;
   /// One FIFO lane per Priority value, indexed by the enum.
-  std::array<std::deque<std::function<void()>>, 3> lanes_;
+  std::array<std::deque<DispatchJob>, kNumPriorityLanes> lanes_;
   size_t queued_ = 0;
 };
 

@@ -25,6 +25,11 @@ util::Status UnknownSolverStatus(const std::string& name) {
                                 "'; registered solvers: " + catalog);
 }
 
+/// Registry name of the per-solver solve-latency histogram.
+std::string SolveSecondsName(const std::string& solver) {
+  return "scheduler.solve_seconds." + solver;
+}
+
 }  // namespace
 
 // Also what the by-reference entry points ride on internally, so they
@@ -47,8 +52,101 @@ SchedulerOptions SchedulerOptions::ForSolverThreads(int64_t solver_threads) {
   return options;
 }
 
+Scheduler::MetricHandles Scheduler::RegisterMetrics(
+    util::MetricRegistry& registry) {
+  MetricHandles handles;
+  handles.admitted = &registry.GetCounter("scheduler.admitted");
+  handles.refused = &registry.GetCounter("scheduler.refused");
+  handles.validation_failed =
+      &registry.GetCounter("scheduler.validation_failed");
+  handles.completed = &registry.GetCounter("scheduler.completed");
+  handles.cancelled = &registry.GetCounter("scheduler.cancelled");
+  handles.deadline_expired =
+      &registry.GetCounter("scheduler.deadline_expired");
+  handles.deadline_expired_in_queue =
+      &registry.GetCounter("scheduler.deadline_expired_in_queue");
+  handles.session_hits = &registry.GetCounter("scheduler.session.hit");
+  handles.session_misses = &registry.GetCounter("scheduler.session.miss");
+  handles.loaded_instances = &registry.GetGauge("scheduler.session.loaded");
+  const std::vector<double>& latency = util::MetricRegistry::LatencyBounds();
+  for (size_t lane = 0; lane < kNumPriorityLanes; ++lane) {
+    const std::string lane_name =
+        PriorityToString(static_cast<Priority>(lane));
+    handles.queue_depth[lane] =
+        &registry.GetGauge("scheduler.queue_depth." + lane_name);
+    handles.queue_wait[lane] = &registry.GetHistogram(
+        "scheduler.queue_wait_seconds." + lane_name, latency);
+  }
+  // One latency histogram per registered solver, created eagerly: the
+  // catalog is fixed, so a fresh scheduler already exposes every metric
+  // name (docs/METRICS.md and `ses_cli metrics` rely on this), and the
+  // const solve path can look handles up without the registry mutex.
+  for (const std::string& solver : core::ListSolvers()) {
+    handles.solve_seconds[solver] =
+        &registry.GetHistogram(SolveSecondsName(solver), latency);
+  }
+  return handles;
+}
+
 Scheduler::Scheduler(const SchedulerOptions& options)
-    : dispatch_(options.max_queued_requests), pool_(options.num_threads) {}
+    : metrics_(RegisterMetrics(registry_)),
+      dispatch_(options.max_queued_requests,
+                DispatchQueueMetrics{
+                    .lane_depth = metrics_.queue_depth,
+                    .deadline_expired_in_queue =
+                        metrics_.deadline_expired_in_queue}),
+      pool_(options.num_threads) {
+  if (options.expired_sweep_period_seconds > 0.0) {
+    sweeper_ = std::thread(
+        [this, period = options.expired_sweep_period_seconds] {
+          SweeperLoop(period);
+        });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mutex_);
+    stop_sweeper_ = true;
+  }
+  sweeper_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
+}
+
+void Scheduler::SweeperLoop(double period_seconds) {
+  const auto period = std::chrono::duration<double>(period_seconds);
+  std::unique_lock<std::mutex> lock(sweeper_mutex_);
+  while (true) {
+    if (sweeper_cv_.wait_for(lock, period,
+                             [this] { return stop_sweeper_; })) {
+      return;
+    }
+    // Sweep outside the wait lock so a concurrent destructor is never
+    // blocked behind expire handlers.
+    lock.unlock();
+    dispatch_.SweepExpired();
+    lock.lock();
+  }
+}
+
+SchedulerMetrics Scheduler::Metrics() const {
+  SchedulerMetrics metrics;
+  metrics.admitted = metrics_.admitted->value();
+  metrics.refused = metrics_.refused->value();
+  metrics.validation_failed = metrics_.validation_failed->value();
+  metrics.completed = metrics_.completed->value();
+  metrics.cancelled = metrics_.cancelled->value();
+  metrics.deadline_expired = metrics_.deadline_expired->value();
+  metrics.deadline_expired_in_queue =
+      metrics_.deadline_expired_in_queue->value();
+  metrics.session_hits = metrics_.session_hits->value();
+  metrics.session_misses = metrics_.session_misses->value();
+  metrics.loaded_instances = metrics_.loaded_instances->value();
+  for (size_t lane = 0; lane < kNumPriorityLanes; ++lane) {
+    metrics.queue_depth[lane] = metrics_.queue_depth[lane]->value();
+  }
+  return metrics;
+}
 
 PendingSolve Scheduler::ResolvedWithError(
     std::string solver, std::shared_ptr<core::CancelToken> cancel,
@@ -78,6 +176,7 @@ SolveResponse Scheduler::RunRequest(const core::SesInstance& instance,
 
   auto solver = core::MakeSolver(request.solver);
   if (!solver.ok()) {
+    metrics_.validation_failed->Increment();
     response.status = UnknownSolverStatus(request.solver);
     return response;
   }
@@ -102,6 +201,9 @@ SolveResponse Scheduler::RunRequest(const core::SesInstance& instance,
     return (*solver)->Solve(instance, request.options, context);
   }();
   if (!result.ok()) {
+    // The solver's own validation rejected the request (direct Solve
+    // path; async requests were validated before admission).
+    metrics_.validation_failed->Increment();
     response.status = result.status();
     return response;
   }
@@ -113,6 +215,27 @@ SolveResponse Scheduler::RunRequest(const core::SesInstance& instance,
   // An interrupted run surfaces through the response status while the
   // best-so-far schedule stays available (has_schedule() is then true).
   response.status = std::move(result->termination);
+
+  // Outcome accounting. Purely observational: counters and the latency
+  // histogram never feed back into solver state, so responses are
+  // bit-identical to an uninstrumented run (pinned by the stress suite).
+  if (const auto it = metrics_.solve_seconds.find(request.solver);
+      it != metrics_.solve_seconds.end()) {
+    it->second->Observe(response.wall_seconds);
+  }
+  switch (response.status.code()) {
+    case util::StatusCode::kOk:
+      metrics_.completed->Increment();
+      break;
+    case util::StatusCode::kCancelled:
+      metrics_.cancelled->Increment();
+      break;
+    case util::StatusCode::kDeadlineExceeded:
+      metrics_.deadline_expired->Increment();
+      break;
+    default:
+      break;
+  }
   return response;
 }
 
@@ -136,6 +259,7 @@ PendingSolve Scheduler::SubmitPinned(
   // Fail fast on invalid requests: resolve the handle immediately
   // without occupying a worker or a queue slot.
   if (auto status = Validate(*pin, request); !status.ok()) {
+    metrics_.validation_failed->Increment();
     return ResolvedWithError(request.solver, request.cancel,
                              std::move(status));
   }
@@ -143,33 +267,61 @@ PendingSolve Scheduler::SubmitPinned(
   PendingSolve pending;
   pending.cancel_ = request.cancel;
 
-  // Kept out of the task: needed again if admission refuses it below.
+  // Kept out of the task: needed again if admission refuses it below
+  // and by the expire handler, which must not depend on the moved-from
+  // request.
   const Priority priority = request.priority;
+  const size_t lane = static_cast<size_t>(priority);
   const std::string solver_name = request.solver;
   const auto cancel = request.cancel;
 
-  // ThreadPool::Submit wants a copyable callable; park the packaged_task
-  // behind a shared_ptr. The task owns the pin: a Drop of the instance
-  // while this request is queued or running cannot invalidate it.
+  // One promise, resolved by exactly one of the two handlers below (the
+  // dispatch queue guarantees that): `run` on a worker, or `expire`
+  // when the deadline lapsed while the request was still queued. Both
+  // handlers own the pin via the run lambda / their shared state: a
+  // Drop of the instance while this request is queued or running cannot
+  // invalidate it.
+  auto promise = std::make_shared<std::promise<SolveResponse>>();
+  pending.future_ = promise->get_future();
   const auto admitted = std::chrono::steady_clock::now();
-  auto task = std::make_shared<std::packaged_task<SolveResponse()>>(
-      [this, admitted, pin = std::move(pin),
-       request = std::move(request)]() {
-        const std::chrono::duration<double> waited =
-            std::chrono::steady_clock::now() - admitted;
-        SolveResponse response = RunRequest(*pin, request);
-        response.queue_seconds = waited.count();
-        return response;
-      });
-  pending.future_ = task->get_future();
+
+  DispatchJob job;
+  job.deadline = request.deadline;
+  job.run = [this, admitted, lane, promise, pin = std::move(pin),
+             request = std::move(request)]() {
+    const std::chrono::duration<double> waited =
+        std::chrono::steady_clock::now() - admitted;
+    metrics_.queue_wait[lane]->Observe(waited.count());
+    SolveResponse response = RunRequest(*pin, request);
+    response.queue_seconds = waited.count();
+    promise->set_value(std::move(response));
+  };
+  // Deadline-aware admission: a request that is already dead when a
+  // worker (or the sweeper) reaches it is answered without running a
+  // solver — it cannot delay live requests behind it. Counted as
+  // deadline_expired_in_queue by the queue, not as a solver-run expiry.
+  job.expire = [this, admitted, lane, promise, solver_name]() {
+    const std::chrono::duration<double> waited =
+        std::chrono::steady_clock::now() - admitted;
+    metrics_.queue_wait[lane]->Observe(waited.count());
+    SolveResponse response;
+    response.solver = solver_name;
+    response.status = util::Status::DeadlineExceeded(util::StrFormat(
+        "deadline expired after %.3fs in the queue; request dropped "
+        "before reaching a solver",
+        waited.count()));
+    response.queue_seconds = waited.count();
+    promise->set_value(std::move(response));
+  };
 
   // Admission: the queue slot check and the enqueue are one atomic step
   // inside TryDispatch, so a burst of submitters can never overshoot
   // the bound between a check and an insert; the refusal depth is the
   // one observed under that same lock.
   size_t depth_at_refusal = 0;
-  if (!dispatch_.TryDispatch(pool_, priority, [task] { (*task)(); },
+  if (!dispatch_.TryDispatch(pool_, priority, std::move(job),
                              &depth_at_refusal)) {
+    metrics_.refused->Increment();
     return ResolvedWithError(
         solver_name, cancel,
         util::Status::ResourceExhausted(util::StrFormat(
@@ -177,6 +329,7 @@ PendingSolve Scheduler::SubmitPinned(
             "or raise SchedulerOptions::max_queued_requests",
             depth_at_refusal, dispatch_.max_queued())));
   }
+  metrics_.admitted->Increment();
   return pending;
 }
 
@@ -227,6 +380,7 @@ util::Status Scheduler::LoadInstance(
     return util::Status::AlreadyExists("instance '" + name +
                                        "' is already loaded; Drop it first");
   }
+  metrics_.loaded_instances->Increment();
   return util::Status::Ok();
 }
 
@@ -242,6 +396,7 @@ util::Status Scheduler::Drop(const std::string& name) {
     // was the last reference) happens outside the lock.
     released = std::move(it->second);
     instances_.erase(it);
+    metrics_.loaded_instances->Decrement();
   }
   return util::Status::Ok();
 }
@@ -262,9 +417,11 @@ util::Result<std::shared_ptr<const core::SesInstance>> Scheduler::Pin(
   std::shared_lock<std::shared_mutex> lock(instances_mutex_);
   auto it = instances_.find(instance_name);
   if (it == instances_.end()) {
+    metrics_.session_misses->Increment();
     return util::Status::NotFound("instance '" + instance_name +
                                   "' is not loaded");
   }
+  metrics_.session_hits->Increment();
   return it->second;
 }
 

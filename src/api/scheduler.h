@@ -47,11 +47,31 @@
 ///    `const SesInstance&` through every hop. In-flight solves pin
 ///    their instance (refcounted), so Drop during a solve is safe: the
 ///    solve completes against the pinned copy.
+///  - **Deadline-aware admission.** A queued request whose deadline has
+///    already expired is dropped at dequeue time — answered with
+///    kDeadlineExceeded without ever occupying a worker for solver
+///    time — so dead requests cannot delay live ones under saturation.
+///    SchedulerOptions::expired_sweep_period_seconds optionally runs a
+///    background sweep that drops expired entries while they are still
+///    queued.
+///  - **Observability.** Every admission, refusal, completion,
+///    cancellation, and expiry is counted in a util::MetricRegistry,
+///    along with per-lane queue depth gauges, per-lane queue-wait
+///    histograms, and per-solver solve-latency histograms. Metrics()
+///    returns the headline numbers as a typed struct;
+///    metric_registry().Snapshot() plus util::RenderMetricsText /
+///    RenderMetricsCsv give the full dump (docs/METRICS.md is the
+///    reference). Instrumentation never changes what a solver computes:
+///    responses stay bit-identical with metrics on (they are never
+///    off).
 
+#include <array>
+#include <condition_variable>
 #include <future>
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +79,7 @@
 #include "core/instance.h"
 #include "core/solve_context.h"
 #include "core/solver.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -149,12 +170,54 @@ struct SchedulerOptions {
   /// immediately with kResourceExhausted.
   size_t max_queued_requests = 0;
 
+  /// Period of the optional background sweep that drops queued requests
+  /// whose deadline has already expired (each is answered
+  /// kDeadlineExceeded and counted as deadline_expired_in_queue without
+  /// occupying a worker). 0 (default) disables the sweeper thread;
+  /// expired requests are then still dropped at dequeue time, just not
+  /// before.
+  double expired_sweep_period_seconds = 0.0;
+
   /// Pool sizing for a `--solver-threads`-style knob (the CLI and the
   /// benches share this policy): 0 keeps the all-cores default, N > 0
   /// is capped at the core count — workers beyond the cores only add
   /// spawn cost, and an absurd flag value must not translate into that
   /// many OS threads.
   static SchedulerOptions ForSolverThreads(int64_t solver_threads);
+};
+
+/// Headline scheduler metrics as plain numbers — the typed view of the
+/// registry for programmatic consumers (tests, load-shedding logic).
+/// Field-by-field meanings, units, and the underlying metric names are
+/// documented in docs/METRICS.md; the full registry (histograms
+/// included) is available via Scheduler::metric_registry().Snapshot().
+struct SchedulerMetrics {
+  /// Async requests accepted into the dispatch queue.
+  uint64_t admitted = 0;
+  /// Async requests refused at admission (queue full,
+  /// kResourceExhausted).
+  uint64_t refused = 0;
+  /// Requests rejected before any solver ran (unknown solver,
+  /// infeasible options, bad warm start).
+  uint64_t validation_failed = 0;
+  /// Solver runs that completed normally (OK responses).
+  uint64_t completed = 0;
+  /// Solver runs interrupted by cancellation.
+  uint64_t cancelled = 0;
+  /// Solver runs interrupted by an expired deadline.
+  uint64_t deadline_expired = 0;
+  /// Queued requests dropped because their deadline expired before a
+  /// worker picked them up (dequeue drop or sweep) — they never reached
+  /// a solver.
+  uint64_t deadline_expired_in_queue = 0;
+  /// Id-keyed lookups that found / missed a loaded instance.
+  uint64_t session_hits = 0;
+  uint64_t session_misses = 0;
+  /// Instances currently loaded in the session cache.
+  int64_t loaded_instances = 0;
+  /// Current admitted-but-not-started depth per lane, indexed by
+  /// Priority (kHigh, kNormal, kBatch).
+  std::array<int64_t, kNumPriorityLanes> queue_depth = {0, 0, 0};
 };
 
 /// Handle to an in-flight asynchronous solve.
@@ -205,6 +268,10 @@ class PendingSolve {
 class Scheduler {
  public:
   explicit Scheduler(const SchedulerOptions& options = SchedulerOptions());
+
+  /// Stops the optional expiry sweeper; queued work drains through the
+  /// pool's destructor as before.
+  ~Scheduler();
 
   /// Typed pre-flight check, run before any solver work: NotFound for an
   /// unknown solver name (the message lists the catalog),
@@ -277,6 +344,24 @@ class Scheduler {
   /// The admission bound; 0 = unbounded.
   size_t max_queued_requests() const { return dispatch_.max_queued(); }
 
+  // --- Observability -----------------------------------------------------
+
+  /// Headline counters and gauges as a typed struct (see
+  /// SchedulerMetrics). Cheap: a handful of relaxed atomic loads.
+  SchedulerMetrics Metrics() const;
+
+  /// The full registry behind Metrics() — snapshot it for histograms
+  /// and for rendering (util::RenderMetricsText / RenderMetricsCsv).
+  /// Every name it registers is documented in docs/METRICS.md.
+  const util::MetricRegistry& metric_registry() const { return registry_; }
+
+  /// Drops every queued request whose deadline has already expired
+  /// (answering each with kDeadlineExceeded) and returns how many were
+  /// dropped. The optional background sweeper calls this every
+  /// SchedulerOptions::expired_sweep_period_seconds; it is also safe to
+  /// call manually from any thread.
+  size_t SweepExpiredQueued() { return dispatch_.SweepExpired(); }
+
  private:
   /// Validates and executes one request end to end.
   SolveResponse RunRequest(const core::SesInstance& instance,
@@ -302,6 +387,42 @@ class Scheduler {
       std::string solver, std::shared_ptr<core::CancelToken> cancel,
       util::Status status);
 
+  /// Pre-looked-up registry handles, cached once at construction so the
+  /// serving paths never pay the registration mutex. All increments are
+  /// relaxed atomics; docs/METRICS.md documents each name.
+  struct MetricHandles {
+    util::Counter* admitted = nullptr;
+    util::Counter* refused = nullptr;
+    util::Counter* validation_failed = nullptr;
+    util::Counter* completed = nullptr;
+    util::Counter* cancelled = nullptr;
+    util::Counter* deadline_expired = nullptr;
+    util::Counter* deadline_expired_in_queue = nullptr;
+    util::Counter* session_hits = nullptr;
+    util::Counter* session_misses = nullptr;
+    util::Gauge* loaded_instances = nullptr;
+    std::array<util::Gauge*, kNumPriorityLanes> queue_depth = {};
+    std::array<util::Histogram*, kNumPriorityLanes> queue_wait = {};
+    /// Solve-latency histogram per registered solver name. The solver
+    /// catalog is fixed at construction, so lookups from const paths
+    /// need no registry mutex.
+    std::unordered_map<std::string, util::Histogram*> solve_seconds;
+  };
+
+  /// Registers every fixed-name scheduler metric (including one
+  /// solve-latency histogram per registered solver, so a fresh
+  /// scheduler already exposes the full catalog) and returns the cached
+  /// handles.
+  static MetricHandles RegisterMetrics(util::MetricRegistry& registry);
+
+  /// Body of the optional expiry-sweeper thread.
+  void SweeperLoop(double period_seconds);
+
+  /// Owns every metric; declared first so pool tasks and the sweeper,
+  /// which update metrics, are torn down before it.
+  util::MetricRegistry registry_;
+  MetricHandles metrics_;
+
   /// Loaded instances, keyed by caller-chosen name. shared_ptr values
   /// are the pins: an in-flight solve holds one, so Drop only removes
   /// the map entry and the instance outlives it as long as needed.
@@ -317,6 +438,14 @@ class Scheduler {
   // entry points (Solve) lend it to solvers whose options ask for
   // intra-solver parallelism (SolverOptions::threads != 1).
   mutable util::ThreadPool pool_;
+
+  /// Expiry sweeper (only started when
+  /// SchedulerOptions::expired_sweep_period_seconds > 0); joined in the
+  /// destructor before any member is torn down.
+  std::mutex sweeper_mutex_;
+  std::condition_variable sweeper_cv_;
+  bool stop_sweeper_ = false;
+  std::thread sweeper_;
 };
 
 /// All registered solver names, in presentation order (forwarded from

@@ -62,6 +62,8 @@ util::Result<std::vector<RunRecord>> ParallelSweepRunner::Run(
     return util::Status::Internal(
         "sweep point cancelled without a recorded error");
   }
+  SES_LOG(kInfo) << "sweep scheduler metrics: "
+                 << SharedSchedulerMetricsSummary();
   return records;
 }
 
@@ -90,6 +92,8 @@ util::Result<std::vector<RunRecord>> RunSweepSerial(
                    std::make_move_iterator(rows->end()));
     SES_LOG(kInfo) << "sweep x=" << point.x << " done";
   }
+  SES_LOG(kInfo) << "sweep scheduler metrics: "
+                 << SharedSchedulerMetricsSummary();
   return records;
 }
 

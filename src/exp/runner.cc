@@ -6,6 +6,7 @@
 #include "api/scheduler.h"
 #include "core/validate.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace ses::exp {
 
@@ -45,6 +46,27 @@ class ScopedSession {
 };
 
 }  // namespace
+
+std::string SharedSchedulerMetricsSummary() {
+  const api::SchedulerMetrics metrics = SharedScheduler().Metrics();
+  return util::StrFormat(
+      "admitted=%llu completed=%llu refused=%llu cancelled=%llu "
+      "deadline_expired=%llu expired_in_queue=%llu "
+      "queue_depth=%lld/%lld/%lld (high/normal/batch) "
+      "session_hits=%llu session_misses=%llu loaded=%lld",
+      static_cast<unsigned long long>(metrics.admitted),
+      static_cast<unsigned long long>(metrics.completed),
+      static_cast<unsigned long long>(metrics.refused),
+      static_cast<unsigned long long>(metrics.cancelled),
+      static_cast<unsigned long long>(metrics.deadline_expired),
+      static_cast<unsigned long long>(metrics.deadline_expired_in_queue),
+      static_cast<long long>(metrics.queue_depth[0]),
+      static_cast<long long>(metrics.queue_depth[1]),
+      static_cast<long long>(metrics.queue_depth[2]),
+      static_cast<unsigned long long>(metrics.session_hits),
+      static_cast<unsigned long long>(metrics.session_misses),
+      static_cast<long long>(metrics.loaded_instances));
+}
 
 util::Result<std::vector<RunRecord>> RunSolvers(
     const core::SesInstance& instance,

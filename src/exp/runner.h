@@ -66,6 +66,13 @@ util::Result<std::vector<RunRecord>> RunSolvers(
     const core::SolverOptions& options, int64_t x,
     SolverExecution execution = SolverExecution::kParallel);
 
+/// One-line summary of the process-shared scheduler's metrics —
+/// completions, queue activity, session-cache traffic. The counters are
+/// cumulative over the process lifetime (the scheduler is shared by
+/// every RunSolvers call), so sweep runners log it once per sweep to
+/// show the delta trend. See docs/METRICS.md for the full registry.
+std::string SharedSchedulerMetricsSummary();
+
 }  // namespace ses::exp
 
 #endif  // SES_EXP_RUNNER_H_

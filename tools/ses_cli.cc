@@ -11,12 +11,21 @@
 ///       persists the SES instance.
 ///
 ///   solve --instance=DIR [--solver=grd --k=N --seed=N
-///         --budget-seconds=X --priority=normal --max-queued=N]
+///         --budget-seconds=X --priority=normal --max-queued=N --metrics]
 ///       Loads an instance into the scheduler's session cache, submits a
 ///       solve against it by id through ses::api::Scheduler (at the
 ///       requested queue priority, under the requested admission bound),
 ///       prints the schedule summary. With a budget, an expired deadline
-///       still prints the best schedule found so far.
+///       still prints the best schedule found so far. --metrics appends
+///       the scheduler's full metric dump (docs/METRICS.md).
+///
+///   metrics [--instance=DIR --solver=grd --k=N --requests=N
+///           --format=text|csv]
+///       Dumps the scheduler metric catalog. Without --instance: a fresh
+///       scheduler's registry (every metric name, all zeros — the
+///       reference list docs/METRICS.md mirrors). With --instance: runs
+///       --requests solves against it (priorities cycled high/normal/
+///       batch) first, so the dump shows live values.
 ///
 ///   info --instance=DIR | --data=DIR
 ///       Prints shape statistics for an instance or a dataset.
@@ -35,6 +44,7 @@
 #include "exp/workload.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -139,6 +149,7 @@ int CmdSolve(int argc, const char* const* argv) {
   int64_t max_queued = 0;
   double budget_seconds = 0.0;
   bool print_schedule = false;
+  bool print_metrics = false;
   util::FlagSet flags("ses_cli solve");
   flags.AddString("instance", &instance_dir, "instance directory");
   flags.AddString("solver", &solver_name,
@@ -157,6 +168,9 @@ int CmdSolve(int argc, const char* const* argv) {
                   "wall-clock budget; 0 = unlimited");
   flags.AddBool("print-schedule", &print_schedule,
                 "print every assignment");
+  flags.AddBool("metrics", &print_metrics,
+                "print the scheduler's metric dump after the solve "
+                "(see docs/METRICS.md)");
   if (auto status = flags.Parse(argc, argv); !status.ok()) {
     return Fail(status);
   }
@@ -246,6 +260,74 @@ int CmdSolve(int argc, const char* const* argv) {
       std::printf("  interval %u <- event %u\n", a.interval, a.event);
     }
   }
+  if (print_metrics) {
+    std::printf("--- scheduler metrics ---\n%s",
+                util::RenderMetricsText(
+                    scheduler.metric_registry().Snapshot())
+                    .c_str());
+  }
+  return 0;
+}
+
+int CmdMetrics(int argc, const char* const* argv) {
+  std::string instance_dir;
+  std::string solver_name = "grd";
+  std::string format = "text";
+  int64_t k = 100;
+  int64_t requests = 6;
+  util::FlagSet flags("ses_cli metrics");
+  flags.AddString("instance", &instance_dir,
+                  "instance directory (omit to dump the metric catalog "
+                  "of a fresh scheduler, all zeros)");
+  flags.AddString("solver", &solver_name, "solver to exercise");
+  flags.AddString("format", &format, "dump format: text or csv");
+  flags.AddInt("k", &k, "schedule size for the exercise solves");
+  flags.AddInt("requests", &requests,
+               "solves to run before dumping (priorities cycled "
+               "high/normal/batch)");
+  if (auto status = flags.Parse(argc, argv); !status.ok()) {
+    return Fail(status);
+  }
+  if (format != "text" && format != "csv") {
+    return Fail(util::Status::InvalidArgument(
+        "--format must be text or csv (got '" + format + "')"));
+  }
+  if (requests < 0) {
+    return Fail(util::Status::InvalidArgument("--requests must be >= 0"));
+  }
+
+  api::Scheduler scheduler;
+  if (!instance_dir.empty()) {
+    auto instance = core::LoadInstance(instance_dir);
+    if (!instance.ok()) return Fail(instance.status());
+    if (auto status =
+            scheduler.LoadInstance("cli", api::BorrowInstance(*instance));
+        !status.ok()) {
+      return Fail(status);
+    }
+    // Exercise the async path so queue-wait histograms and lane
+    // counters show real traffic, cycling through the three lanes.
+    std::vector<api::SolveRequest> batch;
+    batch.reserve(static_cast<size_t>(requests));
+    for (int64_t i = 0; i < requests; ++i) {
+      api::SolveRequest request;
+      request.solver = solver_name;
+      request.options.k = k;
+      request.options.seed = static_cast<uint64_t>(i + 1);
+      request.priority = static_cast<api::Priority>(i % 3);
+      batch.push_back(std::move(request));
+    }
+    for (const api::SolveResponse& response :
+         scheduler.SolveBatch("cli", batch)) {
+      if (!response.has_schedule()) return Fail(response.status);
+    }
+  }
+
+  const util::MetricsSnapshot snapshot =
+      scheduler.metric_registry().Snapshot();
+  std::printf("%s", format == "csv"
+                        ? util::RenderMetricsCsv(snapshot).c_str()
+                        : util::RenderMetricsText(snapshot).c_str());
   return 0;
 }
 
@@ -293,6 +375,7 @@ void PrintUsage() {
       "  generate-data   synthesize a Meetup-like EBSN dataset\n"
       "  build-instance  build the paper workload from a dataset\n"
       "  solve           run a solver on a stored instance\n"
+      "  metrics         dump the scheduler metric catalog / live values\n"
       "  info            describe a dataset or instance\n",
       stderr);
 }
@@ -311,6 +394,7 @@ int main(int argc, char** argv) {
   if (command == "generate-data") return CmdGenerateData(sub_argc, sub_argv);
   if (command == "build-instance") return CmdBuildInstance(sub_argc, sub_argv);
   if (command == "solve") return CmdSolve(sub_argc, sub_argv);
+  if (command == "metrics") return CmdMetrics(sub_argc, sub_argv);
   if (command == "info") return CmdInfo(sub_argc, sub_argv);
   PrintUsage();
   return 2;
