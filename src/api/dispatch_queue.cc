@@ -22,7 +22,7 @@ bool DispatchQueue::TryDispatch(util::ThreadPool& pool, Priority priority,
                                 size_t* depth_at_refusal) {
   const size_t lane = static_cast<size_t>(priority);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (max_queued_ > 0 && queued_ >= max_queued_) {
       if (depth_at_refusal != nullptr) *depth_at_refusal = queued_;
       return false;
@@ -46,7 +46,7 @@ size_t DispatchQueue::SweepExpired() {
   // resolve caller futures and must not hold up dispatchers.
   std::vector<DispatchJob> expired;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (size_t lane = 0; lane < lanes_.size(); ++lane) {
       std::deque<DispatchJob>& entries = lanes_[lane];
       for (auto it = entries.begin(); it != entries.end();) {
@@ -73,26 +73,30 @@ size_t DispatchQueue::SweepExpired() {
 }
 
 size_t DispatchQueue::queued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return queued_;
+}
+
+bool DispatchQueue::PopMostUrgent(DispatchJob* job) {
+  for (size_t lane = 0; lane < lanes_.size(); ++lane) {
+    if (lanes_[lane].empty()) continue;
+    *job = std::move(lanes_[lane].front());
+    lanes_[lane].pop_front();
+    --queued_;
+    if (metrics_.lane_depth[lane] != nullptr) {
+      metrics_.lane_depth[lane]->Decrement();
+    }
+    return true;
+  }
+  return false;
 }
 
 void DispatchQueue::RunNext() {
   DispatchJob job;
   bool found = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t lane = 0; lane < lanes_.size(); ++lane) {
-      if (lanes_[lane].empty()) continue;
-      job = std::move(lanes_[lane].front());
-      lanes_[lane].pop_front();
-      --queued_;
-      if (metrics_.lane_depth[lane] != nullptr) {
-        metrics_.lane_depth[lane]->Decrement();
-      }
-      found = true;
-      break;
-    }
+    util::MutexLock lock(mutex_);
+    found = PopMostUrgent(&job);
   }
   // Empty lanes are legitimate: SweepExpired may have drained entries
   // whose "run the best queued job" pool tasks had not fired yet.

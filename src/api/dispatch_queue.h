@@ -34,10 +34,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 
 #include "core/solve_context.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ses::api {
@@ -109,17 +110,18 @@ class DispatchQueue {
   /// The queue must outlive every pool task it schedules; destroy (or
   /// drain) the pool before destroying the queue.
   bool TryDispatch(util::ThreadPool& pool, Priority priority,
-                   DispatchJob job, size_t* depth_at_refusal = nullptr);
+                   DispatchJob job, size_t* depth_at_refusal = nullptr)
+      SES_EXCLUDES(mutex_);
 
   /// Removes every queued entry whose deadline has expired and runs its
   /// `expire` handler (on the calling thread). Entries without an
   /// `expire` handler are left in place. Returns the number of entries
   /// dropped. Safe to call concurrently with dispatch and dequeue.
-  size_t SweepExpired();
+  size_t SweepExpired() SES_EXCLUDES(mutex_);
 
   /// Jobs admitted and still waiting for a worker. Per-lane depth is
   /// published through DispatchQueueMetrics::lane_depth gauges.
-  size_t queued() const;
+  size_t queued() const SES_EXCLUDES(mutex_);
 
   /// The admission bound; 0 = unbounded.
   size_t max_queued() const { return max_queued_; }
@@ -128,14 +130,20 @@ class DispatchQueue {
   /// Pops and runs the most urgent queued job (pool-task body). A no-op
   /// when the lanes are empty, which happens when SweepExpired removed
   /// entries whose pool tasks had not fired yet.
-  void RunNext();
+  void RunNext() SES_EXCLUDES(mutex_);
+
+  /// Pops the most urgent queued entry into \p job (priority lane
+  /// order, FIFO within a lane), maintaining depth accounting; false
+  /// when every lane is empty. Callers hold the admission lock.
+  bool PopMostUrgent(DispatchJob* job) SES_REQUIRES(mutex_);
 
   const size_t max_queued_;
   const DispatchQueueMetrics metrics_;
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   /// One FIFO lane per Priority value, indexed by the enum.
-  std::array<std::deque<DispatchJob>, kNumPriorityLanes> lanes_;
-  size_t queued_ = 0;
+  std::array<std::deque<DispatchJob>, kNumPriorityLanes> lanes_
+      SES_GUARDED_BY(mutex_);
+  size_t queued_ SES_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ses::api

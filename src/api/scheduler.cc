@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "core/registry.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 
 namespace ses::api {
@@ -106,27 +106,28 @@ Scheduler::Scheduler(const SchedulerOptions& options)
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(sweeper_mutex_);
+    util::MutexLock lock(sweeper_mutex_);
     stop_sweeper_ = true;
   }
-  sweeper_cv_.notify_all();
+  sweeper_cv_.NotifyAll();
   if (sweeper_.joinable()) sweeper_.join();
 }
 
 void Scheduler::SweeperLoop(double period_seconds) {
-  const auto period = std::chrono::duration<double>(period_seconds);
-  std::unique_lock<std::mutex> lock(sweeper_mutex_);
-  while (true) {
-    if (sweeper_cv_.wait_for(lock, period,
-                             [this] { return stop_sweeper_; })) {
-      return;
-    }
+  sweeper_mutex_.Lock();
+  while (!stop_sweeper_) {
+    // One period per wait; a notification only matters when it carries
+    // the stop flag, so spurious wakeups just re-check and sweep early
+    // (harmless — SweepExpired is idempotent).
+    sweeper_cv_.WaitFor(sweeper_mutex_, period_seconds);
+    if (stop_sweeper_) break;
     // Sweep outside the wait lock so a concurrent destructor is never
     // blocked behind expire handlers.
-    lock.unlock();
+    sweeper_mutex_.Unlock();
     dispatch_.SweepExpired();
-    lock.lock();
+    sweeper_mutex_.Lock();
   }
+  sweeper_mutex_.Unlock();
 }
 
 SchedulerMetrics Scheduler::Metrics() const {
@@ -373,7 +374,7 @@ util::Status Scheduler::LoadInstance(
     return util::Status::InvalidArgument(
         "LoadInstance requires a non-null instance");
   }
-  std::unique_lock<std::shared_mutex> lock(instances_mutex_);
+  util::WriterMutexLock lock(instances_mutex_);
   const auto [it, inserted] = instances_.emplace(name, std::move(instance));
   (void)it;
   if (!inserted) {
@@ -387,7 +388,7 @@ util::Status Scheduler::LoadInstance(
 util::Status Scheduler::Drop(const std::string& name) {
   std::shared_ptr<const core::SesInstance> released;
   {
-    std::unique_lock<std::shared_mutex> lock(instances_mutex_);
+    util::WriterMutexLock lock(instances_mutex_);
     auto it = instances_.find(name);
     if (it == instances_.end()) {
       return util::Status::NotFound("instance '" + name + "' is not loaded");
@@ -404,7 +405,7 @@ util::Status Scheduler::Drop(const std::string& name) {
 std::vector<std::string> Scheduler::LoadedInstances() const {
   std::vector<std::string> names;
   {
-    std::shared_lock<std::shared_mutex> lock(instances_mutex_);
+    util::ReaderMutexLock lock(instances_mutex_);
     names.reserve(instances_.size());
     for (const auto& [name, instance] : instances_) names.push_back(name);
   }
@@ -414,7 +415,7 @@ std::vector<std::string> Scheduler::LoadedInstances() const {
 
 util::Result<std::shared_ptr<const core::SesInstance>> Scheduler::Pin(
     const std::string& instance_name) const {
-  std::shared_lock<std::shared_mutex> lock(instances_mutex_);
+  util::ReaderMutexLock lock(instances_mutex_);
   auto it = instances_.find(instance_name);
   if (it == instances_.end()) {
     metrics_.session_misses->Increment();

@@ -66,10 +66,8 @@
 ///    off).
 
 #include <array>
-#include <condition_variable>
 #include <future>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -80,7 +78,9 @@
 #include "core/solve_context.h"
 #include "core/solver.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ses::api {
@@ -305,7 +305,8 @@ class Scheduler {
   /// the id-keyed entry points. AlreadyExists if \p name is taken
   /// (Drop first to replace).
   util::Status LoadInstance(const std::string& name,
-                            core::SesInstance instance);
+                            core::SesInstance instance)
+      SES_EXCLUDES(instances_mutex_);
 
   /// Shared-ownership variant: registers an instance the caller also
   /// holds (or, via a non-owning shared_ptr, merely borrows — the
@@ -313,16 +314,18 @@ class Scheduler {
   /// submitted against it).
   util::Status LoadInstance(
       const std::string& name,
-      std::shared_ptr<const core::SesInstance> instance);
+      std::shared_ptr<const core::SesInstance> instance)
+      SES_EXCLUDES(instances_mutex_);
 
   /// Unregisters \p name. NotFound when it is not loaded. Safe while
   /// solves against \p name are in flight: each solve pinned the
   /// instance at submission, completes normally, and the storage is
   /// released when the last pin goes away.
-  util::Status Drop(const std::string& name);
+  util::Status Drop(const std::string& name) SES_EXCLUDES(instances_mutex_);
 
   /// Names of the currently loaded instances, sorted.
-  std::vector<std::string> LoadedInstances() const;
+  std::vector<std::string> LoadedInstances() const
+      SES_EXCLUDES(instances_mutex_);
 
   /// Id-keyed counterparts of the by-reference entry points, solving
   /// against the instance loaded under \p instance_name. An unknown
@@ -379,7 +382,7 @@ class Scheduler {
 
   /// Looks up a loaded instance; NotFound names the unknown id.
   util::Result<std::shared_ptr<const core::SesInstance>> Pin(
-      const std::string& instance_name) const;
+      const std::string& instance_name) const SES_EXCLUDES(instances_mutex_);
 
   /// A handle already resolved with an error — the shape of every
   /// fail-fast path (validation, admission, unknown instance id).
@@ -416,7 +419,7 @@ class Scheduler {
   static MetricHandles RegisterMetrics(util::MetricRegistry& registry);
 
   /// Body of the optional expiry-sweeper thread.
-  void SweeperLoop(double period_seconds);
+  void SweeperLoop(double period_seconds) SES_EXCLUDES(sweeper_mutex_);
 
   /// Owns every metric; declared first so pool tasks and the sweeper,
   /// which update metrics, are torn down before it.
@@ -426,9 +429,11 @@ class Scheduler {
   /// Loaded instances, keyed by caller-chosen name. shared_ptr values
   /// are the pins: an in-flight solve holds one, so Drop only removes
   /// the map entry and the instance outlives it as long as needed.
-  mutable std::shared_mutex instances_mutex_;
+  /// Reader/writer capability: lookups (Pin, LoadedInstances) take it
+  /// shared, Load/Drop exclusive.
+  mutable util::SharedMutex instances_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const core::SesInstance>>
-      instances_;
+      instances_ SES_GUARDED_BY(instances_mutex_);
 
   // Declared before pool_ so the pool (whose destructor drains pending
   // dispatch tasks that touch dispatch_) is destroyed first.
@@ -442,9 +447,9 @@ class Scheduler {
   /// Expiry sweeper (only started when
   /// SchedulerOptions::expired_sweep_period_seconds > 0); joined in the
   /// destructor before any member is torn down.
-  std::mutex sweeper_mutex_;
-  std::condition_variable sweeper_cv_;
-  bool stop_sweeper_ = false;
+  util::Mutex sweeper_mutex_;
+  util::CondVar sweeper_cv_;
+  bool stop_sweeper_ SES_GUARDED_BY(sweeper_mutex_) = false;
   std::thread sweeper_;
 };
 

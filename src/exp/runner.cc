@@ -17,7 +17,7 @@ namespace {
 /// of each spawning their own. Leaked on purpose so worker shutdown
 /// never races static destruction at exit.
 api::Scheduler& SharedScheduler() {
-  static api::Scheduler* scheduler = new api::Scheduler();
+  static api::Scheduler* scheduler = new api::Scheduler();  // ses-lint: allow(naked-new)
   return *scheduler;
 }
 

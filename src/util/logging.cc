@@ -3,14 +3,16 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <ctime>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace ses::util {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+/// Serializes whole-message writes to stderr (no guarded data — the
+/// capability covers the stream interleaving).
+Mutex g_log_mutex;
 
 char LevelTag(LogLevel level) {
   switch (level) {
@@ -53,7 +55,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    MutexLock lock(g_log_mutex);
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

@@ -23,7 +23,8 @@ std::string BoundLabel(double bound) {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)),
-      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+      // Owned by the unique_ptr member this expression initializes.
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {  // ses-lint: allow(naked-new)
   SES_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
   SES_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
       << "histogram bounds must be ascending";
@@ -48,7 +49,7 @@ void Histogram::Observe(double value) {
 }
 
 Counter& MetricRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SES_CHECK(gauges_.find(name) == gauges_.end() &&
             histograms_.find(name) == histograms_.end())
       << "metric '" << name << "' already registered with another kind";
@@ -61,7 +62,7 @@ Counter& MetricRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge& MetricRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SES_CHECK(counters_.find(name) == counters_.end() &&
             histograms_.find(name) == histograms_.end())
       << "metric '" << name << "' already registered with another kind";
@@ -74,7 +75,7 @@ Gauge& MetricRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricRegistry::GetHistogram(const std::string& name,
                                         const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SES_CHECK(counters_.find(name) == counters_.end() &&
             gauges_.find(name) == gauges_.end())
       << "metric '" << name << "' already registered with another kind";
@@ -89,7 +90,7 @@ Histogram& MetricRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.push_back({name, counter->value()});
@@ -117,7 +118,9 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 const std::vector<double>& MetricRegistry::LatencyBounds() {
-  static const std::vector<double>* bounds = new std::vector<double>{
+  // Intentionally leaked function-local static: immune to shutdown-order
+  // issues, and the process exit reclaims it.
+  static const std::vector<double>* bounds = new std::vector<double>{  // ses-lint: allow(naked-new)
       0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0};
   return *bounds;
 }

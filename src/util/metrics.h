@@ -31,10 +31,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ses::util {
 
@@ -171,20 +173,21 @@ class MetricRegistry {
 
   /// Returns the counter registered under \p name, creating it on first
   /// use.
-  Counter& GetCounter(const std::string& name);
+  Counter& GetCounter(const std::string& name) SES_EXCLUDES(mutex_);
 
   /// Returns the gauge registered under \p name, creating it on first
   /// use.
-  Gauge& GetGauge(const std::string& name);
+  Gauge& GetGauge(const std::string& name) SES_EXCLUDES(mutex_);
 
   /// Returns the histogram registered under \p name, creating it with
   /// \p bounds (ascending upper bounds, non-empty) on first use.
   /// Subsequent calls ignore \p bounds — the first registration wins.
   Histogram& GetHistogram(const std::string& name,
-                          const std::vector<double>& bounds);
+                          const std::vector<double>& bounds)
+      SES_EXCLUDES(mutex_);
 
   /// Consistent, name-sorted copy of every registered metric.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const SES_EXCLUDES(mutex_);
 
   /// Shared default bucket bounds for wall-clock latencies, in seconds:
   /// 1ms .. ~100s in roughly 3x steps. Small enough to scan per
@@ -192,12 +195,17 @@ class MetricRegistry {
   static const std::vector<double>& LatencyBounds();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // std::map: deterministic iteration gives name-sorted snapshots for
-  // free; registration is far off any hot path.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // free; registration is far off any hot path. The unique_ptr values
+  // are the guarded state (map shape); the pointees are lock-free
+  // metrics whose references outlive any critical section by design.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      SES_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      SES_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      SES_GUARDED_BY(mutex_);
 };
 
 /// Human-readable dump: one line per counter/gauge, a two-line block per

@@ -1,0 +1,110 @@
+#ifndef SES_UTIL_THREAD_ANNOTATIONS_H_
+#define SES_UTIL_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang Thread Safety Analysis annotations, compiled away on every
+/// other compiler.
+///
+/// These macros let the concurrency contracts that ARCHITECTURE.md
+/// states in prose — which mutex guards which member, which private
+/// helpers assume the lock is already held — be written directly on the
+/// declarations, where `clang -Wthread-safety` turns every violation
+/// into a compile error instead of a TSan flake. GCC (the default local
+/// toolchain) sees empty macros; the `clang-thread-safety` CI job is the
+/// enforcing build.
+///
+/// Usage pattern (see util/mutex.h for the annotated lock types):
+///
+///   class Queue {
+///    public:
+///     void Push(Item item) SES_EXCLUDES(mutex_);
+///    private:
+///     Item PopLocked() SES_REQUIRES(mutex_);
+///     util::Mutex mutex_;
+///     std::deque<Item> items_ SES_GUARDED_BY(mutex_);
+///   };
+///
+/// Naming follows the capability-based vocabulary of the analysis
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), mirroring
+/// abseil's base/thread_annotations.h so the idiom is recognizable.
+///
+/// `ses_lint` enforces the escape-hatch policy: outside util/mutex.h
+/// (whose wrappers hide unannotated std primitives by construction),
+/// SES_NO_THREAD_SAFETY_ANALYSIS is forbidden — fix the annotation,
+/// don't mute the analysis.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SES_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SES_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (a lockable type). The string
+/// names the capability kind in diagnostics ("mutex", "shared_mutex").
+#define SES_CAPABILITY(x) SES_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Declares an RAII class whose constructor acquires a capability and
+/// whose destructor releases it (MutexLock and friends).
+#define SES_SCOPED_CAPABILITY SES_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Member data that may only be read or written while holding \p x.
+#define SES_GUARDED_BY(x) SES_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by \p x (the pointer itself
+/// may be read freely).
+#define SES_PT_GUARDED_BY(x) SES_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function that must be called with the listed capabilities held
+/// exclusively — the annotation for private *Locked() helpers.
+#define SES_REQUIRES(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with the listed capabilities held at
+/// least shared (read locks suffice).
+#define SES_REQUIRES_SHARED(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define SES_ACQUIRE(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of SES_ACQUIRE.
+#define SES_ACQUIRE_SHARED(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases an exclusively held capability.
+#define SES_RELEASE(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Shared (reader) variant of SES_RELEASE.
+#define SES_RELEASE_SHARED(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// Releases a capability regardless of whether it is held exclusively
+/// or shared — the right annotation for a scoped lock's destructor that
+/// serves both reader and writer guards.
+#define SES_RELEASE_GENERIC(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns \p v
+/// (TryLock-shaped APIs).
+#define SES_TRY_ACQUIRE(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the listed capabilities held
+/// (it acquires them itself; calling with them held would deadlock).
+#define SES_EXCLUDES(...) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Function returning a reference to the capability that guards its
+/// result, letting callers lock through accessors.
+#define SES_RETURN_CAPABILITY(x) \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Reserved for
+/// the util/mutex.h wrappers themselves (which adapt unannotated std
+/// primitives); `ses_lint` rejects it anywhere else in src/.
+#define SES_NO_THREAD_SAFETY_ANALYSIS \
+  SES_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // SES_UTIL_THREAD_ANNOTATIONS_H_

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace ses::util {
 
@@ -19,6 +20,9 @@ namespace {
 /// touching fn, which is what makes the call safe to issue from inside a
 /// pool worker and independent of unrelated Submit() traffic.
 struct ParallelForCall {
+  /// The partition parameters are written once, before the first helper
+  /// is submitted (Submit's lock publishes them), and read-only after —
+  /// deliberately unguarded.
   std::function<void(size_t, size_t)> fn;
   size_t begin = 0;
   size_t shards = 0;
@@ -26,9 +30,9 @@ struct ParallelForCall {
   size_t extra = 0;  ///< first `extra` shards carry one item more
 
   std::atomic<size_t> next_shard{0};
-  std::mutex mutex;
-  std::condition_variable done;
-  size_t completed = 0;
+  Mutex mutex;
+  CondVar done;
+  size_t completed SES_GUARDED_BY(mutex) = 0;
 
   /// Claims and executes one shard; false when none are left.
   bool RunOneShard() {
@@ -41,16 +45,17 @@ struct ParallelForCall {
     const size_t hi = lo + base + (s < extra ? 1 : 0);
     fn(lo, hi);
     {
-      std::lock_guard<std::mutex> lock(mutex);
-      if (++completed == shards) done.notify_all();
+      MutexLock lock(mutex);
+      if (++completed == shards) done.NotifyAll();
     }
     return true;
   }
 
   /// Blocks until every shard has finished executing.
-  void WaitShards() {
-    std::unique_lock<std::mutex> lock(mutex);
-    done.wait(lock, [this] { return completed == shards; });
+  void WaitShards() SES_EXCLUDES(mutex) {
+    mutex.Lock();
+    while (completed != shards) done.Wait(mutex);
+    mutex.Unlock();
   }
 };
 
@@ -69,44 +74,48 @@ ThreadPool::ThreadPool(size_t num_threads) {
 ThreadPool::~ThreadPool() {
   Wait();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     SES_CHECK(!shutting_down_) << "Submit after shutdown";
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  mutex_.Lock();
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
+  mutex_.Unlock();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // shutting down
+      mutex_.Lock();
+      while (!shutting_down_ && tasks_.empty()) task_available_.Wait(mutex_);
+      if (tasks_.empty()) {  // shutting down
+        mutex_.Unlock();
+        return;
+      }
       task = std::move(tasks_.front());
       tasks_.pop();
+      mutex_.Unlock();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

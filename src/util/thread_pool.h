@@ -14,13 +14,14 @@
 /// runs every shard itself — instead of deadlocking on helpers that can
 /// never be scheduled, and it never waits on unrelated Submit() work.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ses::util {
 
@@ -37,10 +38,10 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues \p task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SES_EXCLUDES(mutex_);
 
   /// Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() SES_EXCLUDES(mutex_);
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
@@ -61,15 +62,17 @@ class ThreadPool {
                          const std::function<void(size_t, size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SES_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::queue<std::function<void()>> tasks_;
+  Mutex mutex_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::queue<std::function<void()>> tasks_ SES_GUARDED_BY(mutex_);
+  /// Written only by the constructor, before any worker can observe it;
+  /// immutable afterwards, so reads (num_threads) need no lock.
   std::vector<std::thread> workers_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  size_t in_flight_ SES_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ SES_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ses::util

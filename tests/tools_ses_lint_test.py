@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/ses_lint.py, registered with ctest.
+
+Each rule gets a good and a bad snippet (run against a synthetic repo
+tree in a temp directory, so the fixtures cannot drift into the real
+src/), plus suppression-comment behavior, the full layering matrix, and
+two lockstep checks: every rule id must appear in
+docs/ARCHITECTURE.md's static-analysis section, and the real repository
+must lint clean.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SES_LINT = os.path.join(REPO_ROOT, "tools", "ses_lint.py")
+
+
+def run_lint(root, paths=("src",)):
+    """Runs ses_lint over a tree; returns (exit_code, stderr_text)."""
+    proc = subprocess.run(
+        [sys.executable, SES_LINT, "--root", root, *paths],
+        capture_output=True, text=True, check=False)
+    return proc.returncode, proc.stderr
+
+
+class LintFixture(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = self._tmp.name
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    def assert_clean(self, paths=("src",)):
+        code, err = run_lint(self.root, paths)
+        self.assertEqual(code, 0, f"expected clean, got:\n{err}")
+
+    def assert_flags(self, rule, paths=("src",)):
+        code, err = run_lint(self.root, paths)
+        self.assertEqual(code, 1, f"expected a {rule} problem, got clean")
+        self.assertIn(f" {rule}: ", err,
+                      f"expected rule {rule} in:\n{err}")
+
+
+class LayeringTest(LintFixture):
+    # layer -> (one allowed include, one forbidden include)
+    MATRIX = {
+        "util": ("util/status.h", "core/instance.h"),
+        "core": ("util/status.h", "ebsn/types.h"),
+        "ebsn": ("core/types.h", "api/scheduler.h"),
+        "api": ("core/solver.h", "ebsn/dataset.h"),
+        "exp": ("api/scheduler.h", None),  # exp may include every layer
+    }
+
+    def test_allowed_includes_pass(self):
+        for layer, (ok_include, _) in self.MATRIX.items():
+            self.write(f"src/{layer}/a.h",
+                       f'#include "{ok_include}"\n')
+        self.assert_clean()
+
+    def test_forbidden_includes_flagged(self):
+        for layer, (_, bad_include) in self.MATRIX.items():
+            if bad_include is None:
+                continue
+            with self.subTest(layer=layer):
+                self.write(f"src/{layer}/a.h",
+                           f'#include "{bad_include}"\n')
+                self.assert_flags("layering")
+                os.remove(os.path.join(self.root, f"src/{layer}/a.h"))
+
+    def test_core_must_not_include_api(self):
+        self.write("src/core/a.cc", '#include "api/scheduler.h"\n')
+        self.assert_flags("layering")
+
+    def test_nonlayer_includes_ignored(self):
+        self.write("src/util/a.cc", '#include "vendor/header.h"\n')
+        self.assert_clean()
+
+
+class DeterminismClockTest(LintFixture):
+    def test_clock_in_core_flagged(self):
+        self.write("src/core/a.cc",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        self.assert_flags("determinism-clock")
+
+    def test_time_call_in_ebsn_flagged(self):
+        self.write("src/ebsn/a.cc", "long t = time(nullptr);\n")
+        self.assert_flags("determinism-clock")
+
+    def test_solve_context_exempt(self):
+        self.write("src/core/solve_context.h",
+                   "using Clock = std::chrono::steady_clock;\n")
+        self.assert_clean()
+
+    def test_identifier_containing_time_ok(self):
+        self.write("src/core/a.cc",
+                   "double wall_time(int x);\nrecord.set_time(3);\n")
+        self.assert_clean()
+
+    def test_clock_outside_deterministic_layers_ok(self):
+        self.write("src/api/a.cc",
+                   "auto t = std::chrono::steady_clock::now();\n")
+        self.assert_clean()
+
+
+class DeterminismRandomTest(LintFixture):
+    def test_random_device_flagged(self):
+        self.write("src/ebsn/a.cc", "std::random_device rd;\n")
+        self.assert_flags("determinism-random")
+
+    def test_std_rand_flagged(self):
+        self.write("src/core/a.cc", "int r = std::rand();\n")
+        self.assert_flags("determinism-random")
+
+    def test_seeded_rng_ok(self):
+        self.write("src/core/a.cc",
+                   "util::Rng rng(options.seed);\nint r = rng.Next();\n")
+        self.assert_clean()
+
+
+class UnorderedAccumulateTest(LintFixture):
+    def test_accumulating_iteration_flagged(self):
+        self.write("src/core/a.cc",
+                   "std::unordered_map<int, double> weights;\n"
+                   "double total = 0.0;\n"
+                   "for (const auto& [k, v] : weights) {\n"
+                   "  total += v;\n"
+                   "}\n")
+        self.assert_flags("unordered-accumulate")
+
+    def test_lookup_only_iteration_ok(self):
+        self.write("src/core/a.cc",
+                   "std::unordered_map<int, double> weights;\n"
+                   "for (const auto& [k, v] : weights) {\n"
+                   "  if (v < 0.0) return false;\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_ordered_map_accumulation_ok(self):
+        self.write("src/core/a.cc",
+                   "std::map<int, double> weights;\n"
+                   "double total = 0.0;\n"
+                   "for (const auto& [k, v] : weights) {\n"
+                   "  total += v;\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_vector_accumulation_ok(self):
+        self.write("src/core/a.cc",
+                   "std::unordered_set<int> seen;\n"
+                   "std::vector<double> values;\n"
+                   "double total = 0.0;\n"
+                   "for (double v : values) {\n"
+                   "  total += v;\n"
+                   "}\n")
+        self.assert_clean()
+
+
+class RawMutexTest(LintFixture):
+    def test_std_mutex_in_src_flagged(self):
+        self.write("src/api/a.h", "  std::mutex mutex_;\n")
+        self.assert_flags("raw-mutex")
+
+    def test_lock_guard_flagged(self):
+        self.write("src/core/a.cc",
+                   "std::lock_guard<std::mutex> lock(mu);\n")
+        self.assert_flags("raw-mutex")
+
+    def test_wrapper_file_exempt(self):
+        self.write("src/util/mutex.h", "  std::mutex mutex_;\n")
+        self.assert_clean()
+
+    def test_wrapper_usage_ok(self):
+        self.write("src/api/a.h",
+                   "  util::Mutex mutex_;\n  util::CondVar cv_;\n")
+        self.assert_clean()
+
+    def test_tests_may_use_std_mutex(self):
+        self.write("tests/a_test.cc", "std::mutex mu;\n")
+        self.assert_clean(paths=("tests",))
+
+
+class TsaEscapeTest(LintFixture):
+    def test_escape_outside_wrappers_flagged(self):
+        self.write("src/api/a.h",
+                   "void Touch() SES_NO_THREAD_SAFETY_ANALYSIS;\n")
+        self.assert_flags("tsa-escape")
+
+    def test_escape_in_wrapper_ok(self):
+        self.write("src/util/mutex.h",
+                   "void Lock() SES_NO_THREAD_SAFETY_ANALYSIS;\n")
+        self.assert_clean()
+
+
+class NakedNewTest(LintFixture):
+    def test_naked_new_flagged(self):
+        self.write("src/core/a.cc", "int* p = new int[4];\n")
+        self.assert_flags("naked-new")
+
+    def test_smart_pointer_wrap_ok(self):
+        self.write("src/core/a.cc",
+                   "auto p = std::unique_ptr<Solver>(new GreedySolver());\n")
+        self.assert_clean()
+
+    def test_word_containing_new_ok(self):
+        self.write("src/core/a.cc",
+                   "bool renewed = Renew(news_count);\n")
+        self.assert_clean()
+
+
+class UsingNamespaceHeaderTest(LintFixture):
+    def test_using_namespace_in_header_flagged(self):
+        self.write("src/core/a.h", "using namespace std;\n")
+        self.assert_flags("using-namespace-header")
+
+    def test_using_namespace_in_cc_ok(self):
+        self.write("src/core/a.cc", "using namespace std::chrono;\n")
+        self.assert_clean()
+
+    def test_using_declaration_ok(self):
+        self.write("src/core/a.h", "using std::vector;\n")
+        self.assert_clean()
+
+
+class SuppressionTest(LintFixture):
+    def test_same_line_allow(self):
+        self.write("src/core/a.cc",
+                   "int* p = new int;  // ses-lint: allow(naked-new)\n")
+        self.assert_clean()
+
+    def test_allow_lists_several_rules(self):
+        self.write(
+            "src/core/a.h",
+            "using namespace std;  "
+            "// ses-lint: allow(using-namespace-header, naked-new)\n")
+        self.assert_clean()
+
+    def test_allow_for_other_rule_does_not_suppress(self):
+        self.write("src/core/a.cc",
+                   "int* p = new int;  // ses-lint: allow(raw-mutex)\n")
+        self.assert_flags("naked-new")
+
+
+class CommentAndStringStrippingTest(LintFixture):
+    def test_patterns_in_comments_ignored(self):
+        self.write("src/core/a.cc",
+                   "// std::rand() would break determinism here\n"
+                   "/* std::mutex is banned: use util::Mutex */\n"
+                   "int x = 0;\n")
+        self.assert_clean()
+
+    def test_patterns_in_strings_ignored(self):
+        self.write("src/core/a.cc",
+                   'const char* kMsg = "never call std::rand()";\n')
+        self.assert_clean()
+
+    def test_code_after_comment_still_checked(self):
+        self.write("src/core/a.cc",
+                   "/* prose */ std::random_device rd;\n")
+        self.assert_flags("determinism-random")
+
+
+class DocLockstepTest(unittest.TestCase):
+    """Every rule id must be documented, and the real repo must be clean
+    — the two properties that keep the linter from rotting."""
+
+    def test_every_rule_documented_in_architecture_md(self):
+        proc = subprocess.run(
+            [sys.executable, SES_LINT, "--list-rules"],
+            capture_output=True, text=True, check=True)
+        rules = [line.split(":")[0] for line in
+                 proc.stdout.strip().splitlines()]
+        self.assertGreaterEqual(len(rules), 8)
+        doc_path = os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md")
+        with open(doc_path, encoding="utf-8") as fh:
+            doc = fh.read()
+        for rule in rules:
+            self.assertIn(f"`{rule}`", doc,
+                          f"rule '{rule}' missing from docs/ARCHITECTURE.md")
+
+    def test_repository_lints_clean(self):
+        code, err = run_lint(REPO_ROOT, ("src", "tools", "tests"))
+        self.assertEqual(code, 0, f"repository has lint problems:\n{err}")
+
+
+if __name__ == "__main__":
+    unittest.main()

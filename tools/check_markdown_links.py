@@ -9,6 +9,9 @@ Checks, per markdown file (directories are walked for **/*.md):
   - every same-file anchor link (#section) matches a heading's
     GitHub-style slug;
   - cross-file anchors (path.md#section) match a heading in the target;
+  - reference-style links ([text][id] and collapsed [id][]) resolve to
+    a `[id]: target` definition in the same file, and the definition's
+    target is checked like an inline link (file, anchors and all);
   - external links (http/https/mailto) are syntax-checked only — CI has
     no business depending on third-party uptime.
 
@@ -24,6 +27,10 @@ import sys
 # Inline links/images: [text](target) / ![alt](target). Titles
 # ("... "title"") are split off below; <> wrapping is stripped.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style uses: [text][id]; [id][] collapses to the text.
+REF_LINK_RE = re.compile(r"!?\[([^\]]+)\]\[([^\]]*)\]")
+# Reference definitions: [id]: target (optional "title" ignored).
+REF_DEF_RE = re.compile(r"^\s*\[([^\]]+)\]:\s+(\S+)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 
@@ -61,43 +68,87 @@ def heading_slugs(path: str) -> set:
     return slugs
 
 
+def check_target(path, lineno, target, own_slugs, problems):
+    """Validates one link target (shared by inline links and reference
+    definitions). `own_slugs` is a single-element list cache of this
+    file's heading slugs, filled lazily."""
+    target = target.strip("<>")
+    if target.startswith(("http://", "https://", "mailto:")):
+        return
+    link_path, _, anchor = target.partition("#")
+    if link_path:
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), link_path))
+        if not os.path.exists(resolved):
+            problems.append(
+                f"{path}:{lineno}: broken link '{target}' "
+                f"(no such file: {resolved})")
+            return
+        if anchor and resolved.endswith(".md"):
+            if anchor not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}:{lineno}: broken anchor "
+                    f"'{target}' (no heading "
+                    f"'#{anchor}' in {resolved})")
+    elif anchor:
+        if own_slugs[0] is None:
+            own_slugs[0] = heading_slugs(path)
+        if anchor not in own_slugs[0]:
+            problems.append(
+                f"{path}:{lineno}: broken anchor "
+                f"'#{anchor}' (no such heading here)")
+
+
+def reference_definitions(lines) -> dict:
+    """First pass: `[id]: target` definitions (ids lowercased, per the
+    CommonMark case-insensitive matching rule), fence-aware."""
+    defs = {}
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = REF_DEF_RE.match(line)
+        if match:
+            defs.setdefault(match.group(1).strip().lower(),
+                            (lineno, match.group(2)))
+    return defs
+
+
 def check_file(path: str) -> list:
     problems = []
     in_fence = False
-    own_slugs = None  # computed lazily
+    own_slugs = [None]  # computed lazily by check_target
     with open(path, encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            if CODE_FENCE_RE.match(line):
-                in_fence = not in_fence
-                continue
-            if in_fence:
-                continue
-            for match in LINK_RE.finditer(line):
-                target = match.group(1).strip("<>")
-                if target.startswith(("http://", "https://", "mailto:")):
-                    continue
-                link_path, _, anchor = target.partition("#")
-                if link_path:
-                    resolved = os.path.normpath(
-                        os.path.join(os.path.dirname(path), link_path))
-                    if not os.path.exists(resolved):
-                        problems.append(
-                            f"{path}:{lineno}: broken link '{target}' "
-                            f"(no such file: {resolved})")
-                        continue
-                    if anchor and resolved.endswith(".md"):
-                        if anchor not in heading_slugs(resolved):
-                            problems.append(
-                                f"{path}:{lineno}: broken anchor "
-                                f"'{target}' (no heading "
-                                f"'#{anchor}' in {resolved})")
-                elif anchor:
-                    if own_slugs is None:
-                        own_slugs = heading_slugs(path)
-                    if anchor not in own_slugs:
-                        problems.append(
-                            f"{path}:{lineno}: broken anchor "
-                            f"'#{anchor}' (no such heading here)")
+        lines = fh.readlines()
+    ref_defs = reference_definitions(lines)
+    # Every definition's target must resolve, used or not (an unused
+    # broken definition is a doc bug waiting for its first reference).
+    for lineno, target in ref_defs.values():
+        check_target(path, lineno, target, own_slugs, problems)
+    for lineno, line in enumerate(lines, start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        # Blank inline links before scanning for reference-style ones:
+        # `[text](a.md)` must not double-report, and `[a][b](c)` styles
+        # are rare enough not to care.
+        for match in LINK_RE.finditer(line):
+            check_target(path, lineno, match.group(1), own_slugs, problems)
+        stripped = LINK_RE.sub("", line)
+        if REF_DEF_RE.match(stripped):
+            continue  # the definition line itself is not a use
+        for match in REF_LINK_RE.finditer(stripped):
+            ref_id = (match.group(2) or match.group(1)).strip().lower()
+            if ref_id not in ref_defs:
+                problems.append(
+                    f"{path}:{lineno}: unresolved reference link "
+                    f"'[{match.group(1)}][{match.group(2)}]' (no "
+                    f"'[{ref_id}]: ...' definition in this file)")
     return problems
 
 

@@ -1,0 +1,373 @@
+#!/usr/bin/env python3
+"""ses_lint — project-invariant linter for the ses repository.
+
+Usage: ses_lint.py [--root DIR] [--list-rules] [PATH ...]
+
+Enforces, with nothing beyond the Python standard library, the
+invariants the compiler cannot see (and that `clang -Wthread-safety`
+does not cover). PATHs default to `src tools tests` under --root
+(default: the repository root, i.e. the parent of this script's
+directory); directories are walked for *.h / *.cc files. Each rule
+applies only inside its scope — listed below and documented in
+docs/ARCHITECTURE.md ("Concurrency invariants & static analysis").
+
+Rules:
+  layering              src/ include-layering matrix: util includes
+                        nothing above it, core -> util only, ebsn ->
+                        core/util, api -> core/util, exp -> anything
+                        (its RunSolvers is a documented client of api).
+  determinism-clock     no wall-clock reads (std::chrono clocks,
+                        time()/clock()/gettimeofday) in src/core or
+                        src/ebsn outside core/solve_context.h — solver
+                        results must not depend on when they run.
+  determinism-random    no nondeterministic randomness (std::rand,
+                        srand, std::random_device) in src/core or
+                        src/ebsn — all randomness flows through seeded
+                        util RNGs.
+  unordered-accumulate  no range-for over a std::unordered_map/set
+                        whose body accumulates (+=, push_back, insert,
+                        ...) in src/core or src/ebsn — hash iteration
+                        order is implementation-defined, so such loops
+                        break bit-identical reproducibility.
+  raw-mutex             no raw std synchronization primitives
+                        (std::mutex, std::shared_mutex,
+                        std::condition_variable, std::*_lock) in src/
+                        outside util/mutex.h — use the annotated
+                        util::Mutex wrappers so clang's Thread Safety
+                        Analysis sees every lock.
+  tsa-escape            SES_NO_THREAD_SAFETY_ANALYSIS is reserved for
+                        util/mutex.h itself; anywhere else in src/ the
+                        annotation must be fixed, not muted.
+  naked-new             no naked `new` in src/ — wrap allocations in
+                        unique_ptr/shared_ptr (or suppress with a
+                        justification for intentional leaks).
+  using-namespace-header no `using namespace` in any header — it leaks
+                        into every includer.
+
+Suppressions: append `// ses-lint: allow(<rule>)` to the offending
+line (comma-separate several rule ids). Comments, string literals, and
+character literals are stripped before matching, so prose never trips
+a rule.
+
+Exit status: 0 when clean, 1 with one "file:line: rule: message" per
+problem otherwise.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Layer -> layers it may include (by the first path component of a
+# quoted include). tests/bench/tools/examples may use everything and are
+# exempt. exp legitimately includes api (exp::RunSolvers is a documented
+# client of api::Scheduler; see docs/ARCHITECTURE.md "Layer map").
+LAYERS = ("util", "core", "ebsn", "exp", "api")
+ALLOWED_INCLUDES = {
+    "util": {"util"},
+    "core": {"core", "util"},
+    "ebsn": {"ebsn", "core", "util"},
+    "api": {"api", "core", "util"},
+    "exp": {"exp", "ebsn", "core", "util", "api"},
+}
+
+# Files (repo-relative, forward slashes) exempt from the determinism
+# clock rule: the two sanctioned wall-clock surfaces.
+CLOCK_EXEMPT = {"src/core/solve_context.h", "src/util/timer.h"}
+
+# Files allowed to touch raw std synchronization primitives and the
+# analysis escape hatch: the annotated wrappers themselves.
+MUTEX_EXEMPT = {"src/util/mutex.h"}
+TSA_ESCAPE_EXEMPT = {"src/util/mutex.h", "src/util/thread_annotations.h"}
+
+CLOCK_RE = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"|(?<![\w:])(?:time|clock|gettimeofday|localtime|mktime)\s*\(")
+RANDOM_RE = re.compile(r"std::rand\b|(?<![\w:])srand\s*\(|random_device")
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|shared_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+TSA_ESCAPE_RE = re.compile(r"\bSES_NO_THREAD_SAFETY_ANALYSIS\b")
+NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")  # `new (addr)` placement ok
+SMART_WRAP_RE = re.compile(
+    r"unique_ptr|shared_ptr|make_unique|make_shared|weak_ptr")
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*[^;:)])\s:\s([^)]+)\)")
+ACCUMULATE_RE = re.compile(
+    r"\+=|-=|\*=|/=|\|=|&=|\^=|\+\+|--"
+    r"|push_back|emplace_back|emplace\(|insert\(|append\(")
+ALLOW_RE = re.compile(r"//\s*ses-lint:\s*allow\(([^)]*)\)")
+
+RULE_DOCS = {
+    "layering": "src/ include-layering matrix (util < core < ebsn/api < exp)",
+    "determinism-clock":
+        "no wall-clock reads in src/core|src/ebsn outside solve_context.h",
+    "determinism-random":
+        "no std::rand/srand/random_device in src/core|src/ebsn",
+    "unordered-accumulate":
+        "no accumulating range-for over unordered containers in core/ebsn",
+    "raw-mutex":
+        "annotated util::Mutex wrappers, not raw std primitives, in src/",
+    "tsa-escape":
+        "SES_NO_THREAD_SAFETY_ANALYSIS only inside util/mutex.h",
+    "naked-new": "allocations in src/ go through smart pointers",
+    "using-namespace-header": "no `using namespace` in headers",
+}
+
+
+def strip_code(text):
+    """Blanks comments and string/char literals, preserving line
+    structure, and returns (code_lines, raw_lines). Rules match on
+    code_lines; suppression comments are read from raw_lines."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string or char
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (state == "string" and c == '"') or (
+                    state == "char" and c == "'"):
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out).split("\n"), text.split("\n")
+
+
+def suppressed(raw_line, rule):
+    match = ALLOW_RE.search(raw_line)
+    if not match:
+        return False
+    allowed = {r.strip() for r in match.group(1).split(",")}
+    return rule in allowed
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.problems = []
+
+    def report(self, rel, lineno, rule, message, raw_lines):
+        if suppressed(raw_lines[lineno - 1], rule):
+            return
+        self.problems.append(f"{rel}:{lineno}: {rule}: {message}")
+
+    def lint_file(self, path):
+        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except (OSError, UnicodeDecodeError) as err:
+            self.problems.append(f"{rel}: unreadable: {err}")
+            return
+        code, raw = strip_code(text)
+
+        in_src = rel.startswith("src/")
+        layer = rel.split("/")[1] if in_src and rel.count("/") >= 2 else None
+        deterministic = layer in ("core", "ebsn")
+        is_header = rel.endswith(".h")
+
+        if layer in ALLOWED_INCLUDES:
+            self.check_layering(rel, layer, code, raw)
+        if deterministic:
+            if rel not in CLOCK_EXEMPT:
+                self.check_pattern(rel, code, raw, CLOCK_RE,
+                                   "determinism-clock",
+                                   "wall-clock read in a deterministic "
+                                   "layer (use core::SolveContext / "
+                                   "util::WallTimer at the call site)")
+            self.check_pattern(rel, code, raw, RANDOM_RE,
+                               "determinism-random",
+                               "nondeterministic randomness (seeded util "
+                               "RNGs only)")
+            self.check_unordered_accumulate(rel, code, raw)
+        if in_src and rel not in MUTEX_EXEMPT:
+            self.check_pattern(rel, code, raw, RAW_MUTEX_RE, "raw-mutex",
+                               "raw std synchronization primitive (use "
+                               "the annotated util::Mutex wrappers)")
+        if in_src and rel not in TSA_ESCAPE_EXEMPT:
+            self.check_pattern(rel, code, raw, TSA_ESCAPE_RE, "tsa-escape",
+                               "thread-safety-analysis escape hatch "
+                               "outside util/mutex.h (fix the "
+                               "annotation instead)")
+        if in_src:
+            self.check_naked_new(rel, code, raw)
+        if is_header:
+            self.check_pattern(rel, code, raw, USING_NAMESPACE_RE,
+                               "using-namespace-header",
+                               "`using namespace` in a header leaks "
+                               "into every includer")
+
+    def check_pattern(self, rel, code, raw, pattern, rule, message):
+        for lineno, line in enumerate(code, start=1):
+            if pattern.search(line):
+                self.report(rel, lineno, rule, message, raw)
+
+    def check_layering(self, rel, layer, code, raw):
+        del code  # the include path is a string literal — match raw lines
+        allowed = ALLOWED_INCLUDES[layer]
+        for lineno, line in enumerate(raw, start=1):
+            match = INCLUDE_RE.match(line)
+            if not match:
+                continue
+            target = match.group(1).split("/")[0]
+            if target in LAYERS and target not in allowed:
+                self.report(
+                    rel, lineno, "layering",
+                    f"src/{layer} must not include \"{match.group(1)}\" "
+                    f"(allowed layers: {', '.join(sorted(allowed))})", raw)
+
+    def check_naked_new(self, rel, code, raw):
+        for lineno, line in enumerate(code, start=1):
+            if NEW_RE.search(line) and not SMART_WRAP_RE.search(line):
+                self.report(rel, lineno, "naked-new",
+                            "naked `new` (wrap in unique_ptr/shared_ptr, "
+                            "or justify with a suppression)", raw)
+
+    def check_unordered_accumulate(self, rel, code, raw):
+        unordered_names = set()
+        for line in code:
+            match = UNORDERED_DECL_RE.search(line)
+            if not match:
+                continue
+            # The declared name: last identifier before ; = { ( on the
+            # line, after the closing template bracket. Heuristic, but
+            # the fixture suite pins the cases that matter.
+            tail = line[match.end():]
+            for name_match in re.finditer(r"(\w+)\s*(?:;|=|\{|\()", tail):
+                unordered_names.add(name_match.group(1))
+        if not unordered_names:
+            return
+        for lineno, line in enumerate(code, start=1):
+            match = RANGE_FOR_RE.search(line)
+            if not match:
+                continue
+            range_ids = set(re.findall(r"\w+", match.group(2)))
+            if not (range_ids & unordered_names):
+                continue
+            if self.body_accumulates(code, lineno - 1):
+                self.report(
+                    rel, lineno, "unordered-accumulate",
+                    "range-for over an unordered container whose body "
+                    "accumulates — hash order is not deterministic "
+                    "(iterate a sorted view, or suppress if the "
+                    "accumulation is order-insensitive and exact)", raw)
+
+    @staticmethod
+    def body_accumulates(code, for_line_index):
+        """Scans the brace-matched loop body (or the single statement up
+        to the next ';') following the range-for for accumulation."""
+        depth = 0
+        opened = False
+        for lineno in range(for_line_index, min(for_line_index + 200,
+                                                len(code))):
+            line = code[lineno]
+            start = 0
+            if lineno == for_line_index:
+                close = line.find(")")
+                start = close + 1 if close >= 0 else 0
+            body = line[start:]
+            if ACCUMULATE_RE.search(body):
+                return True
+            depth += body.count("{") - body.count("}")
+            opened = opened or "{" in body
+            if opened and depth <= 0:
+                return False
+            if not opened and ";" in body:
+                return False
+        return False
+
+
+def collect(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                files.extend(os.path.join(root, name)
+                             for name in sorted(names)
+                             if name.endswith((".h", ".cc")))
+        elif path.endswith((".h", ".cc")):
+            files.append(path)
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="ses project-invariant linter")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule ids and one-line descriptions")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src tools "
+                             "tests under --root)")
+    args = parser.parse_args(argv[1:])
+
+    if args.list_rules:
+        for rule in sorted(RULE_DOCS):
+            print(f"{rule}: {RULE_DOCS[rule]}")
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = [os.path.join(root, p) if not os.path.isabs(p) else p
+             for p in (args.paths or ["src", "tools", "tests"])]
+    paths = [p for p in paths if os.path.exists(p)]
+
+    linter = Linter(root)
+    for path in collect(paths):
+        linter.lint_file(path)
+    for problem in sorted(linter.problems):
+        print(problem, file=sys.stderr)
+    print(f"ses_lint: checked {len(collect(paths))} file(s): "
+          f"{len(linter.problems)} problem(s)")
+    return 1 if linter.problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
