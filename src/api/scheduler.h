@@ -276,7 +276,7 @@ class Scheduler {
   /// Typed pre-flight check, run before any solver work: NotFound for an
   /// unknown solver name (the message lists the catalog),
   /// InvalidArgument for an infeasible k or a bad warm start.
-  util::Status Validate(const core::SesInstance& instance,
+  [[nodiscard]] util::Status Validate(const core::SesInstance& instance,
                         const SolveRequest& request) const;
 
   /// Validates and runs \p request synchronously on the calling thread.
@@ -304,7 +304,7 @@ class Scheduler {
   /// Takes ownership of \p instance and registers it under \p name for
   /// the id-keyed entry points. AlreadyExists if \p name is taken
   /// (Drop first to replace).
-  util::Status LoadInstance(const std::string& name,
+  [[nodiscard]] util::Status LoadInstance(const std::string& name,
                             core::SesInstance instance)
       SES_EXCLUDES(instances_mutex_);
 
@@ -312,7 +312,7 @@ class Scheduler {
   /// holds (or, via a non-owning shared_ptr, merely borrows — the
   /// caller then guarantees the instance outlives Drop and every solve
   /// submitted against it).
-  util::Status LoadInstance(
+  [[nodiscard]] util::Status LoadInstance(
       const std::string& name,
       std::shared_ptr<const core::SesInstance> instance)
       SES_EXCLUDES(instances_mutex_);
@@ -321,7 +321,8 @@ class Scheduler {
   /// solves against \p name are in flight: each solve pinned the
   /// instance at submission, completes normally, and the storage is
   /// released when the last pin goes away.
-  util::Status Drop(const std::string& name) SES_EXCLUDES(instances_mutex_);
+  [[nodiscard]] util::Status Drop(const std::string& name)
+      SES_EXCLUDES(instances_mutex_);
 
   /// Names of the currently loaded instances, sorted.
   std::vector<std::string> LoadedInstances() const
@@ -381,7 +382,7 @@ class Scheduler {
       const std::vector<SolveRequest>& requests);
 
   /// Looks up a loaded instance; NotFound names the unknown id.
-  util::Result<std::shared_ptr<const core::SesInstance>> Pin(
+  [[nodiscard]] util::Result<std::shared_ptr<const core::SesInstance>> Pin(
       const std::string& instance_name) const SES_EXCLUDES(instances_mutex_);
 
   /// A handle already resolved with an error — the shape of every

@@ -161,7 +161,7 @@ class AttendanceModel {
 /// applicable — the typed-error counterpart of the api::Scheduler
 /// validation path for solvers invoked directly through Solver::Solve.
 /// Warm-start Apply calls do not count as gain evaluations.
-util::Status ApplyWarmStart(AttendanceModel& model,
+[[nodiscard]] util::Status ApplyWarmStart(AttendanceModel& model,
                             std::span<const Assignment> warm_start);
 
 }  // namespace ses::core

@@ -27,7 +27,7 @@ class BestFitSolver final : public Solver {
   std::string_view name() const override { return "bestfit"; }
 
  protected:
-  util::Result<SolverResult> DoSolve(const SesInstance& instance,
+  [[nodiscard]] util::Result<SolverResult> DoSolve(const SesInstance& instance,
                                      const SolverOptions& options,
                                      const SolveContext& context) override;
 };

@@ -163,15 +163,16 @@ class InstanceBuilder {
 
   /// Validates and produces the instance. The builder is left in a
   /// moved-from state on success.
-  util::Result<SesInstance> Build();
+  [[nodiscard]] util::Result<SesInstance> Build();
 
  private:
   struct PendingRow {
     std::vector<std::pair<UserIndex, float>> entries;
   };
 
-  util::Status ValidateRow(const std::vector<std::pair<UserIndex, float>>& row,
-                           const char* what, size_t index) const;
+  [[nodiscard]] util::Status ValidateRow(
+      const std::vector<std::pair<UserIndex, float>>& row,
+      const char* what, size_t index) const;
 
   uint32_t num_users_ = 0;
   uint32_t num_intervals_ = 0;

@@ -41,12 +41,12 @@ struct SigmaSpec {
 /// Writes \p instance under directory \p dir (which must exist).
 /// \p sigma_spec must describe the provider the instance was built with —
 /// the provider object itself cannot be introspected.
-util::Status SaveInstance(const SesInstance& instance,
+[[nodiscard]] util::Status SaveInstance(const SesInstance& instance,
                           const SigmaSpec& sigma_spec,
                           const std::string& dir);
 
 /// Reads an instance previously written by SaveInstance.
-util::Result<SesInstance> LoadInstance(const std::string& dir);
+[[nodiscard]] util::Result<SesInstance> LoadInstance(const std::string& dir);
 
 }  // namespace ses::core
 

@@ -55,7 +55,7 @@ class LocalSearchSolver final : public Solver {
   std::string_view name() const override { return "ls"; }
 
  protected:
-  util::Result<SolverResult> DoSolve(const SesInstance& instance,
+  [[nodiscard]] util::Result<SolverResult> DoSolve(const SesInstance& instance,
                                      const SolverOptions& options,
                                      const SolveContext& context) override;
 };

@@ -31,7 +31,7 @@ struct MkpiInstance {
   std::vector<double> profits;
 
   /// Structural validation.
-  util::Status Validate() const;
+  [[nodiscard]] util::Status Validate() const;
 };
 
 /// A packing: bin_of_item[i] in [0, num_bins) or -1 when unpacked.
@@ -46,7 +46,7 @@ struct MkpiSolution {
 ///        items are admissible (this matches SES's |S| = k constraint and
 ///        is what the reduction test needs).
 /// Returns Infeasible when no admissible packing exists.
-util::Result<MkpiSolution> SolveMkpiExact(
+[[nodiscard]] util::Result<MkpiSolution> SolveMkpiExact(
     const MkpiInstance& instance,
     std::optional<int> exactly_k_items = std::nullopt);
 

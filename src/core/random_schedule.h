@@ -16,7 +16,7 @@ class RandomSolver final : public Solver {
   std::string_view name() const override { return "rand"; }
 
  protected:
-  util::Result<SolverResult> DoSolve(const SesInstance& instance,
+  [[nodiscard]] util::Result<SolverResult> DoSolve(const SesInstance& instance,
                                      const SolverOptions& options,
                                      const SolveContext& context) override;
 };

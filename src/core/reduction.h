@@ -44,8 +44,8 @@ struct ReductionParams {
 /// Builds the SES instance encoding \p mkpi. Profits must lie in (0, 1)
 /// (use NormalizeMkpiProfits first when needed); fails with
 /// InvalidArgument when a derived interest leaves (0, 1].
-util::Result<SesInstance> ReduceMkpiToSes(const MkpiInstance& mkpi,
-                                          const ReductionParams& params);
+[[nodiscard]] util::Result<SesInstance> ReduceMkpiToSes(
+    const MkpiInstance& mkpi, const ReductionParams& params);
 
 /// Rescales profits into (0, 1) by dividing by (max profit * slack); the
 /// argmax packing is unchanged. \p slack must exceed 1.

@@ -16,7 +16,8 @@ namespace ses::core {
 
 /// Creates a solver by name: "grd", "lazy", "top", "rand", "exact", "ls",
 /// "anneal". NotFound for anything else.
-util::Result<std::unique_ptr<Solver>> MakeSolver(std::string_view name);
+[[nodiscard]] util::Result<std::unique_ptr<Solver>> MakeSolver(
+    std::string_view name);
 
 /// All registered solver names, in presentation order.
 std::vector<std::string> ListSolvers();

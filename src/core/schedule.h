@@ -43,10 +43,10 @@ class Schedule {
 
   /// Performs the assignment; Infeasible/FailedPrecondition when
   /// CanAssign(e, t) is false.
-  util::Status Assign(EventIndex e, IntervalIndex t);
+  [[nodiscard]] util::Status Assign(EventIndex e, IntervalIndex t);
 
   /// Removes event \p e's assignment; FailedPrecondition when unassigned.
-  util::Status Unassign(EventIndex e);
+  [[nodiscard]] util::Status Unassign(EventIndex e);
 
   /// Number of assignments |S|.
   size_t size() const { return size_; }
@@ -75,7 +75,7 @@ class Schedule {
 /// validator but fails the schedule's strict feasibility check. Solvers
 /// call this instead of SES_CHECKing so a bad warm start is a typed
 /// error, never a process abort.
-util::Status ApplyWarmStart(Schedule& schedule,
+[[nodiscard]] util::Status ApplyWarmStart(Schedule& schedule,
                             std::span<const Assignment> warm_start);
 
 }  // namespace ses::core

@@ -115,7 +115,7 @@ struct SolveContext {
   }
 
   /// Status for a stop reason; OK for kNone.
-  static util::Status StopStatus(StopReason reason) {
+  [[nodiscard]] static util::Status StopStatus(StopReason reason) {
     switch (reason) {
       case StopReason::kNone:
         return util::Status::Ok();

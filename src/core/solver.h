@@ -132,20 +132,20 @@ class Solver {
 
   /// Computes a feasible schedule with (up to) options.k assignments,
   /// honoring \p context's deadline and cancellation token.
-  util::Result<SolverResult> Solve(
+  [[nodiscard]] util::Result<SolverResult> Solve(
       const SesInstance& instance, const SolverOptions& options,
       const SolveContext& context = SolveContext());
 
  protected:
   /// Implementation hook; options are already validated.
-  virtual util::Result<SolverResult> DoSolve(const SesInstance& instance,
-                                             const SolverOptions& options,
-                                             const SolveContext& context) = 0;
+  [[nodiscard]] virtual util::Result<SolverResult> DoSolve(
+      const SesInstance& instance, const SolverOptions& options,
+      const SolveContext& context) = 0;
 };
 
 /// Shared helper: validates options against the instance (k positive and
 /// not above |E|).
-util::Status ValidateSolverOptions(const SesInstance& instance,
+[[nodiscard]] util::Status ValidateSolverOptions(const SesInstance& instance,
                                    const SolverOptions& options);
 
 }  // namespace ses::core

@@ -18,7 +18,7 @@ namespace ses::core {
 /// in-range indices, no event assigned twice, per-interval location
 /// uniqueness, and per-interval resource totals within theta. When
 /// \p expected_k >= 0 the assignment count must equal it.
-util::Status ValidateAssignments(const SesInstance& instance,
+[[nodiscard]] util::Status ValidateAssignments(const SesInstance& instance,
                                  std::span<const Assignment> assignments,
                                  int64_t expected_k = -1);
 

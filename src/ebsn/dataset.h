@@ -79,14 +79,14 @@ class EbsnDataset {
   /// Structural validation: sorted tag lists, in-range cross references,
   /// event organizers exist, member lists consistent with user group
   /// lists. Returns the first violation found.
-  util::Status Validate() const;
+  [[nodiscard]] util::Status Validate() const;
 
   /// Persists the dataset as CSV files under directory \p dir
   /// (tags.csv, groups.csv, users.csv, events.csv, checkins.csv).
-  util::Status Save(const std::string& dir) const;
+  [[nodiscard]] util::Status Save(const std::string& dir) const;
 
   /// Loads a dataset previously written by Save().
-  static util::Result<EbsnDataset> Load(const std::string& dir);
+  [[nodiscard]] static util::Result<EbsnDataset> Load(const std::string& dir);
 
  private:
   TagCatalog tags_;

@@ -23,7 +23,7 @@ class TagCatalog {
   TagId Intern(std::string_view name);
 
   /// Returns the id for \p name or NotFound when never interned.
-  util::Result<TagId> Find(std::string_view name) const;
+  [[nodiscard]] util::Result<TagId> Find(std::string_view name) const;
 
   /// The tag string for \p id. \p id must be valid.
   const std::string& name(TagId id) const;

@@ -41,7 +41,7 @@ enum class CsvTiming {
 /// (x,solver,utility,gain_evaluations,assignments) always comes first;
 /// with CsvTiming::kAppend the non-deterministic `seconds` measurement
 /// is appended as the trailing column.
-util::Status WriteRecordsCsv(const std::string& path,
+[[nodiscard]] util::Status WriteRecordsCsv(const std::string& path,
                              const std::vector<RunRecord>& records,
                              CsvTiming timing = CsvTiming::kAppend);
 

@@ -53,7 +53,7 @@ class ParallelSweepRunner {
   /// can depend on timing, so treat the returned status as diagnostic
   /// rather than byte-deterministic (the success path stays
   /// reproducible).
-  util::Result<std::vector<RunRecord>> Run(
+  [[nodiscard]] util::Result<std::vector<RunRecord>> Run(
       const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
       const std::vector<std::string>& solvers);
 
@@ -66,7 +66,7 @@ class ParallelSweepRunner {
 /// Reference serial implementation of ParallelSweepRunner::Run — a plain
 /// loop over RunSolvers. Used by benches on request (--jobs=1 avoids
 /// spawning a pool) and by tests as the determinism oracle.
-util::Result<std::vector<RunRecord>> RunSweepSerial(
+[[nodiscard]] util::Result<std::vector<RunRecord>> RunSweepSerial(
     const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
     const std::vector<std::string>& solvers);
 
@@ -75,7 +75,7 @@ util::Result<std::vector<RunRecord>> RunSweepSerial(
 /// ParallelSweepRunner with that many workers (0 = hardware
 /// concurrency). Both paths return identical records (modulo the
 /// wall-clock `seconds` field) in point order.
-util::Result<std::vector<RunRecord>> RunSweep(
+[[nodiscard]] util::Result<std::vector<RunRecord>> RunSweep(
     const WorkloadFactory& factory, const std::vector<SweepPoint>& points,
     const std::vector<std::string>& solvers, size_t num_threads);
 

@@ -60,7 +60,7 @@ enum class SolverExecution {
 /// every returned schedule. \p x tags the records with the sweep
 /// coordinate; records are returned in solver-list order regardless of
 /// \p execution.
-util::Result<std::vector<RunRecord>> RunSolvers(
+[[nodiscard]] util::Result<std::vector<RunRecord>> RunSolvers(
     const core::SesInstance& instance,
     const std::vector<std::string>& solver_names,
     const core::SolverOptions& options, int64_t x,

@@ -41,7 +41,7 @@ using ConfigFactory =
 /// \p solver_threads is forwarded to SolverOptions::threads (grd/lazy
 /// score-generation shards); utility aggregates are bit-identical at any
 /// value.
-util::Result<std::vector<SweepCell>> RunRepeatedSweep(
+[[nodiscard]] util::Result<std::vector<SweepCell>> RunRepeatedSweep(
     const WorkloadFactory& factory, const std::vector<int64_t>& xs,
     const ConfigFactory& make_config,
     const std::vector<std::string>& solvers, int repetitions,

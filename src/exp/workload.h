@@ -71,7 +71,7 @@ class WorkloadFactory {
   explicit WorkloadFactory(const ebsn::EbsnDataset& dataset);
 
   /// Materializes the SES instance for \p config.
-  util::Result<core::SesInstance> Build(
+  [[nodiscard]] util::Result<core::SesInstance> Build(
       const PaperWorkloadConfig& config) const;
 
   const ebsn::EbsnDataset& dataset() const { return *dataset_; }

@@ -17,7 +17,7 @@ using CsvRow = std::vector<std::string>;
 
 /// Parses a single CSV line (no trailing newline) honoring double-quote
 /// escaping. Returns ParseError on unbalanced quotes.
-Result<CsvRow> ParseCsvLine(const std::string& line);
+[[nodiscard]] Result<CsvRow> ParseCsvLine(const std::string& line);
 
 /// Serializes \p row, quoting fields that contain separators, quotes or
 /// newlines.
@@ -25,12 +25,12 @@ std::string FormatCsvRow(const CsvRow& row);
 
 /// Reads a whole CSV file. When \p expect_header is true the first row is
 /// returned separately in \p header (may be nullptr to discard).
-Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+[[nodiscard]] Result<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
                                         bool expect_header,
                                         CsvRow* header);
 
 /// Writes \p rows (with optional \p header) to \p path, overwriting.
-Status WriteCsvFile(const std::string& path, const CsvRow& header,
+[[nodiscard]] Status WriteCsvFile(const std::string& path, const CsvRow& header,
                     const std::vector<CsvRow>& rows);
 
 }  // namespace ses::util

@@ -49,7 +49,7 @@ class FlagSet {
 
   /// Parses argv, writing values into the bound targets. Unknown flags are
   /// errors; non-flag arguments are collected into positional().
-  Status Parse(int argc, const char* const* argv);
+  [[nodiscard]] Status Parse(int argc, const char* const* argv);
 
   /// Non-flag arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
@@ -71,7 +71,7 @@ class FlagSet {
   /// Appends \p flag; aborts on a duplicate name (programming error).
   void Register(Flag flag);
   Flag* Find(const std::string& name);
-  Status Assign(Flag& flag, const std::string& value);
+  [[nodiscard]] Status Assign(Flag& flag, const std::string& value);
 
   std::string program_;
   std::vector<Flag> flags_;

@@ -40,7 +40,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy and
 /// compare; the message is only meaningful for non-OK codes.
-class Status {
+///
+/// [[nodiscard]]: dropping a returned Status on the floor is a compile
+/// error under -Werror; consume it, propagate it
+/// (SES_RETURN_IF_ERROR), or discard explicitly with `(void)` plus a
+/// same-line `// ses-lint: allow(discarded-status)` justification.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -117,7 +122,7 @@ class Status {
 /// Accessing value() on an error Result aborts (programming error), so
 /// callers must check ok() first or use value_or().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
@@ -161,11 +166,19 @@ class Result {
     if (!ses_status_.ok()) return ses_status_;   \
   } while (0)
 
+// Two-level concatenation so __LINE__ expands to the line number before
+// pasting; direct `a##__LINE__` would paste the token "__LINE__" itself
+// and every use in a scope would collide on one name.
+#define SES_STATUS_CONCAT_IMPL(a, b) a##b
+#define SES_STATUS_CONCAT(a, b) SES_STATUS_CONCAT_IMPL(a, b)
+
 /// Assigns the value of a Result to `lhs` or returns its error.
-#define SES_ASSIGN_OR_RETURN(lhs, expr)          \
-  auto ses_result_##__LINE__ = (expr);           \
-  if (!ses_result_##__LINE__.ok())               \
-    return ses_result_##__LINE__.status();       \
-  lhs = std::move(ses_result_##__LINE__).value()
+#define SES_ASSIGN_OR_RETURN(lhs, expr) \
+  SES_ASSIGN_OR_RETURN_IMPL(SES_STATUS_CONCAT(ses_result_, __LINE__), \
+                            lhs, expr)
+#define SES_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value()
 
 #endif  // SES_UTIL_STATUS_H_

@@ -36,13 +36,13 @@ std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /// Strict string->int64 parse (whole string must be consumed).
-Result<int64_t> ParseInt64(std::string_view s);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view s);
 
 /// Strict string->double parse (whole string must be consumed).
-Result<double> ParseDouble(std::string_view s);
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
 
 /// Strict string->bool parse; accepts true/false/1/0/yes/no (any case).
-Result<bool> ParseBool(std::string_view s);
+[[nodiscard]] Result<bool> ParseBool(std::string_view s);
 
 /// Renders a count with thousands separators, e.g. 1234567 -> "1,234,567".
 std::string WithThousandsSep(int64_t value);

@@ -27,6 +27,13 @@ def run_lint(root, paths=("src",)):
     return proc.returncode, proc.stderr
 
 
+def run_lint_argv(root, *argv):
+    """Runs ses_lint with explicit extra flags; returns the process."""
+    return subprocess.run(
+        [sys.executable, SES_LINT, "--root", root, *argv],
+        capture_output=True, text=True, check=False)
+
+
 class LintFixture(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
@@ -270,6 +277,280 @@ class CommentAndStringStrippingTest(LintFixture):
         self.assert_flags("determinism-random")
 
 
+class LockOrderTest(LintFixture):
+    """Flow rule: the acquired-while-holding graph must be acyclic."""
+
+    TWO_LOCK_CYCLE = (
+        "namespace ses::api {\n"
+        "util::Mutex a_mu;\n"
+        "util::Mutex b_mu;\n"
+        "void F() {\n"
+        "  util::MutexLock la(a_mu);\n"
+        "  util::MutexLock lb(b_mu);\n"
+        "}\n"
+        "void G() {\n"
+        "  util::MutexLock lb(b_mu);\n"
+        "  util::MutexLock la(a_mu);\n"
+        "}\n"
+        "}  // namespace ses::api\n")
+
+    def test_two_lock_cycle_flagged_with_witness(self):
+        self.write("src/api/ab.cc", self.TWO_LOCK_CYCLE)
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" lock-order: ", err)
+        # The witness names both edges, each with a file:line location.
+        self.assertIn("api::a_mu -> api::b_mu at src/api/ab.cc:", err)
+        self.assertIn("api::b_mu -> api::a_mu at src/api/ab.cc:", err)
+
+    def test_consistent_order_is_clean(self):
+        # Same two locks, but every path agrees a_mu comes first: an
+        # acyclic order, not a finding.
+        self.write("src/api/ab.cc",
+                   "namespace ses::api {\n"
+                   "util::Mutex a_mu;\n"
+                   "util::Mutex b_mu;\n"
+                   "void F() {\n"
+                   "  util::MutexLock la(a_mu);\n"
+                   "  util::MutexLock lb(b_mu);\n"
+                   "}\n"
+                   "void G() {\n"
+                   "  util::MutexLock la(a_mu);\n"
+                   "  util::MutexLock lb(b_mu);\n"
+                   "}\n"
+                   "}  // namespace ses::api\n")
+        self.assert_clean()
+
+    def test_release_before_second_lock_is_clean(self):
+        # Scoped blocks that end before the next acquisition never hold
+        # two locks at once — the SweeperLoop/TryDispatch idiom.
+        self.write("src/api/ab.cc",
+                   "namespace ses::api {\n"
+                   "util::Mutex a_mu;\n"
+                   "util::Mutex b_mu;\n"
+                   "void F() {\n"
+                   "  {\n"
+                   "    util::MutexLock la(a_mu);\n"
+                   "  }\n"
+                   "  util::MutexLock lb(b_mu);\n"
+                   "}\n"
+                   "void G() {\n"
+                   "  util::MutexLock lb(b_mu);\n"
+                   "}\n"
+                   "}  // namespace ses::api\n")
+        self.assert_clean()
+
+    def test_three_tu_cycle_through_header_acquire(self):
+        # The cycle only exists globally: f.cc holds a_mu and calls a
+        # header-declared SES_ACQUIRE(b_mu) function; g.cc does the
+        # reverse. No single TU sees both edges.
+        self.write("src/api/locks.h",
+                   "namespace ses::api {\n"
+                   "extern util::Mutex a_mu;\n"
+                   "extern util::Mutex b_mu;\n"
+                   "void TakeA() SES_ACQUIRE(a_mu);\n"
+                   "void TakeB() SES_ACQUIRE(b_mu);\n"
+                   "}  // namespace ses::api\n")
+        self.write("src/api/f.cc",
+                   "namespace ses::api {\n"
+                   "void F() {\n"
+                   "  util::MutexLock la(a_mu);\n"
+                   "  TakeB();\n"
+                   "}\n"
+                   "}  // namespace ses::api\n")
+        self.write("src/api/g.cc",
+                   "namespace ses::api {\n"
+                   "void G() {\n"
+                   "  util::MutexLock lb(b_mu);\n"
+                   "  TakeA();\n"
+                   "}\n"
+                   "}  // namespace ses::api\n")
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" lock-order: ", err)
+        self.assertIn("src/api/f.cc:", err)
+        self.assertIn("src/api/g.cc:", err)
+
+    def test_suppression_at_witness_edge(self):
+        # Allowing one edge of the cycle (same line as the inner
+        # acquisition) breaks it.
+        suppressed = self.TWO_LOCK_CYCLE.replace(
+            "  util::MutexLock la(a_mu);\n}",
+            "  util::MutexLock la(a_mu);"
+            "  // ses-lint: allow(lock-order)\n}")
+        self.assertNotEqual(suppressed, self.TWO_LOCK_CYCLE)
+        self.write("src/api/ab.cc", suppressed)
+        self.assert_clean()
+
+
+class CondVarHoldTest(LintFixture):
+    def test_wait_under_second_lock_flagged(self):
+        self.write("src/api/a.cc",
+                   "namespace ses::api {\n"
+                   "util::Mutex a_mu;\n"
+                   "util::Mutex b_mu;\n"
+                   "util::CondVar cv;\n"
+                   "void W() {\n"
+                   "  util::MutexLock la(a_mu);\n"
+                   "  util::MutexLock lb(b_mu);\n"
+                   "  while (true) cv.Wait(b_mu);\n"
+                   "}\n"
+                   "}  // namespace ses::api\n")
+        self.assert_flags("condvar-hold")
+
+    def test_wait_under_own_mutex_only_is_clean(self):
+        self.write("src/api/a.cc",
+                   "namespace ses::api {\n"
+                   "util::Mutex a_mu;\n"
+                   "util::CondVar cv;\n"
+                   "void W() {\n"
+                   "  util::MutexLock la(a_mu);\n"
+                   "  while (true) cv.Wait(a_mu);\n"
+                   "}\n"
+                   "}  // namespace ses::api\n")
+        self.assert_clean()
+
+
+class DiscardedStatusTest(LintFixture):
+    DECL = "util::Status Save();\n"
+
+    def test_expression_statement_discard_flagged(self):
+        self.write("src/core/a.cc", self.DECL
+                   + "void F() {\n  Save();\n}\n")
+        self.assert_flags("discarded-status")
+
+    def test_comma_operand_discard_flagged(self):
+        self.write("src/core/a.cc", self.DECL
+                   + "void F() {\n  Save(), Save();\n}\n")
+        self.assert_flags("discarded-status")
+
+    def test_if_init_discard_flagged(self):
+        self.write("src/core/a.cc", self.DECL
+                   + "void F() {\n  if (Save(); true) {\n  }\n}\n")
+        self.assert_flags("discarded-status")
+
+    def test_consumed_and_returned_are_clean(self):
+        self.write("src/core/a.cc", self.DECL
+                   + "util::Status F() {\n"
+                   "  util::Status s = Save();\n"
+                   "  if (!s.ok()) return s;\n"
+                   "  if (!Save().ok()) {\n"
+                   "    return Save();\n"
+                   "  }\n"
+                   "  SES_RETURN_IF_ERROR(Save());\n"
+                   "  return Save();\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_void_cast_with_allow_is_clean(self):
+        self.write("src/core/a.cc", self.DECL
+                   + "void F() {\n"
+                   "  (void)Save();"
+                   "  // ses-lint: allow(discarded-status) fixture\n"
+                   "}\n")
+        self.assert_clean()
+
+    def test_void_cast_without_allow_flagged(self):
+        self.write("src/core/a.cc", self.DECL
+                   + "void F() {\n  (void)Save();\n}\n")
+        self.assert_flags("discarded-status")
+
+    def test_allow_without_void_cast_flagged(self):
+        self.write("src/core/a.cc", self.DECL
+                   + "void F() {\n"
+                   "  Save();  // ses-lint: allow(discarded-status)\n"
+                   "}\n")
+        self.assert_flags("discarded-status")
+
+    def test_result_returning_function_covered(self):
+        self.write("src/core/a.cc",
+                   "util::Result<int> Load();\n"
+                   "void F() {\n  Load();\n}\n")
+        self.assert_flags("discarded-status")
+
+
+class JsonFormatTest(LintFixture):
+    def test_one_json_object_per_finding(self):
+        import json
+        self.write("src/core/a.cc",
+                   "util::Status Save();\n"
+                   "void F() {\n  Save();\n}\n")
+        proc = run_lint_argv(self.root, "--format=json", "src")
+        self.assertEqual(proc.returncode, 1)
+        lines = proc.stdout.strip().splitlines()
+        self.assertEqual(len(lines), 1)
+        f = json.loads(lines[0])
+        self.assertEqual(f["rule"], "discarded-status")
+        self.assertEqual(f["file"], "src/core/a.cc")
+        self.assertEqual(f["line"], 3)
+        self.assertIn("Save", f["message"])
+        self.assertEqual(f["witness"], [])
+
+    def test_cycle_witness_is_a_list(self):
+        import json
+        self.write("src/api/ab.cc", LockOrderTest.TWO_LOCK_CYCLE)
+        proc = run_lint_argv(self.root, "--format=json", "src")
+        self.assertEqual(proc.returncode, 1)
+        f = json.loads(proc.stdout.strip().splitlines()[0])
+        self.assertEqual(f["rule"], "lock-order")
+        self.assertEqual(len(f["witness"]), 2)
+        for edge in f["witness"]:
+            self.assertIn(" at src/api/ab.cc:", edge)
+
+
+class ChangedOnlyTest(LintFixture):
+    """--changed-only filters the report to files changed since a ref
+    (falling back to a full report when git is unusable)."""
+
+    def _git(self, *argv):
+        return subprocess.run(
+            ["git", "-C", self.root, *argv], capture_output=True,
+            text=True, check=False)
+
+    def setUp(self):
+        super().setUp()
+        if self._git("init", "-q").returncode != 0:
+            self.skipTest("git unavailable")
+        self._git("config", "user.email", "lint@test")
+        self._git("config", "user.name", "lint test")
+
+    def test_report_restricted_to_changed_files(self):
+        self.write("src/core/old.cc",
+                   "util::Status Save();\n"
+                   "void F() {\n  Save();\n}\n")
+        self._git("add", "-A")
+        self._git("commit", "-qm", "base")
+        self.write("src/core/fresh.cc",
+                   "util::Status Save();\n"
+                   "void G() {\n  Save();\n}\n")
+        proc = run_lint_argv(self.root, "--changed-only", "HEAD", "src")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("src/core/fresh.cc", proc.stderr)
+        self.assertNotIn("src/core/old.cc", proc.stderr)
+
+    def test_bad_ref_falls_back_to_full_report(self):
+        self.write("src/core/old.cc",
+                   "util::Status Save();\n"
+                   "void F() {\n  Save();\n}\n")
+        proc = run_lint_argv(
+            self.root, "--changed-only", "no-such-ref", "src")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("src/core/old.cc", proc.stderr)
+
+
+class CapabilitiesTest(LintFixture):
+    def test_table_lists_mutexes_and_held_set(self):
+        self.write("src/api/ab.cc", LockOrderTest.TWO_LOCK_CYCLE)
+        proc = run_lint_argv(self.root, "--capabilities", "src")
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("api::a_mu", proc.stdout)
+        self.assertIn("api::b_mu", proc.stdout)
+        # Both locks are acquired while the other is held.
+        lines = proc.stdout.splitlines()
+        a_row = next(l for l in lines if l.startswith("api::a_mu"))
+        self.assertIn("api::b_mu", a_row)
+
+
 class DocLockstepTest(unittest.TestCase):
     """Every rule id must be documented, and the real repo must be clean
     — the two properties that keep the linter from rotting."""
@@ -289,8 +570,34 @@ class DocLockstepTest(unittest.TestCase):
                           f"rule '{rule}' missing from docs/ARCHITECTURE.md")
 
     def test_repository_lints_clean(self):
-        code, err = run_lint(REPO_ROOT, ("src", "tools", "tests"))
+        code, err = run_lint(
+            REPO_ROOT, ("src", "tools", "tests", "bench", "examples"))
         self.assertEqual(code, 0, f"repository has lint problems:\n{err}")
+
+    def test_capabilities_table_matches_architecture_md(self):
+        """docs/ARCHITECTURE.md embeds `ses_lint --capabilities` output
+        verbatim in the fenced block after the
+        `<!-- ses-lint-capabilities -->` marker; regenerate the block
+        when the lock landscape changes."""
+        proc = subprocess.run(
+            [sys.executable, SES_LINT, "--root", REPO_ROOT,
+             "--capabilities", "src"],
+            capture_output=True, text=True, check=True)
+        table = proc.stdout.strip()
+        doc_path = os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md")
+        with open(doc_path, encoding="utf-8") as fh:
+            doc = fh.read()
+        marker = "<!-- ses-lint-capabilities -->"
+        self.assertIn(marker, doc)
+        after = doc.split(marker, 1)[1]
+        fence_start = after.index("```") + 3
+        fence_end = after.index("```", fence_start)
+        documented = after[fence_start:fence_end].strip()
+        self.assertEqual(
+            documented, table,
+            "docs/ARCHITECTURE.md capability table is stale — paste the "
+            "current `tools/ses_lint.py --capabilities` output into the "
+            "fenced block")
 
 
 if __name__ == "__main__":

@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""ses_lint — project-invariant linter for the ses repository.
+"""ses_lint — project-invariant linter and flow-aware analyzer.
 
-Usage: ses_lint.py [--root DIR] [--list-rules] [PATH ...]
+Usage: ses_lint.py [--root DIR] [--list-rules] [--capabilities]
+                   [--format {text,json}] [--changed-only GIT_REF]
+                   [--compile-commands FILE] [PATH ...]
 
 Enforces, with nothing beyond the Python standard library, the
 invariants the compiler cannot see (and that `clang -Wthread-safety`
-does not cover). PATHs default to `src tools tests` under --root
-(default: the repository root, i.e. the parent of this script's
-directory); directories are walked for *.h / *.cc files. Each rule
-applies only inside its scope — listed below and documented in
+does not cover). PATHs default to `src tools tests bench examples`
+under --root (default: the repository root, i.e. the parent of this
+script's directory); directories are walked for *.h / *.cc files. Each
+rule applies only inside its scope — listed below and documented in
 docs/ARCHITECTURE.md ("Concurrency invariants & static analysis").
 
-Rules:
+Token rules:
   layering              src/ include-layering matrix: util includes
                         nothing above it, core -> util only, ebsn ->
                         core/util, api -> core/util, exp -> anything
@@ -44,18 +46,53 @@ Rules:
   using-namespace-header no `using namespace` in any header — it leaks
                         into every includer.
 
+Flow rules (a per-TU scan of the SES_* annotation surface plus scoped
+MutexLock/ReaderMutexLock/WriterMutexLock constructions and manual
+Lock/Unlock calls, linked into a global call graph):
+  lock-order            the acquired-while-holding graph over every
+                        util::Mutex/SharedMutex capability must be
+                        acyclic (deadlock freedom); cycles are reported
+                        with a full witness path. `--capabilities`
+                        dumps the derived inventory.
+  condvar-hold          no CondVar::Wait/WaitFor reachable while a
+                        second capability is held — the wait releases
+                        only its own mutex, so the second lock blocks
+                        every would-be notifier.
+  discarded-status      a call to a util::Status/Result<T>-returning
+                        function must be consumed, returned, or
+                        explicitly discarded as `(void)expr;` with a
+                        same-line `// ses-lint: allow(discarded-status)`
+                        carrying the justification. The compiler
+                        enforces the same contract via [[nodiscard]]
+                        (-Wunused-result under -Werror); this rule
+                        keeps the discipline visible to review and to
+                        trees the compiler has not seen yet.
+
 Suppressions: append `// ses-lint: allow(<rule>)` to the offending
 line (comma-separate several rule ids). Comments, string literals, and
 character literals are stripped before matching, so prose never trips
-a rule.
+a rule. For lock-order the suppression goes on the witness line of the
+edge; for discarded-status it must accompany a `(void)` cast.
+
+--format=json prints one JSON object per finding (rule, file, line,
+message, witness) to stdout instead of the text report.
+--changed-only GIT_REF still runs the full (whole-graph) analysis but
+reports only findings whose file — or any witness file, for cycles —
+differs from GIT_REF, for fast CI/pre-commit runs.
+--compile-commands FILE restricts the scanned *.cc set to translation
+units listed in the exported compile_commands.json (headers are always
+scanned), so the flow pass analyzes exactly what the build builds.
 
 Exit status: 0 when clean, 1 with one "file:line: rule: message" per
 problem otherwise.
 """
 
 import argparse
+import bisect
+import json
 import os
 import re
+import subprocess
 import sys
 
 # Layer -> layers it may include (by the first path component of a
@@ -79,6 +116,11 @@ CLOCK_EXEMPT = {"src/core/solve_context.h", "src/util/timer.h"}
 # analysis escape hatch: the annotated wrappers themselves.
 MUTEX_EXEMPT = {"src/util/mutex.h"}
 TSA_ESCAPE_EXEMPT = {"src/util/mutex.h", "src/util/thread_annotations.h"}
+
+# The lock wrappers themselves look like lock-order chaos from the
+# outside (Lock() "acquires while holding" in every combination); the
+# flow analysis models their call sites, not their internals.
+FLOW_EXEMPT = {"src/util/mutex.h", "src/util/thread_annotations.h"}
 
 CLOCK_RE = re.compile(
     r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
@@ -116,6 +158,14 @@ RULE_DOCS = {
         "SES_NO_THREAD_SAFETY_ANALYSIS only inside util/mutex.h",
     "naked-new": "allocations in src/ go through smart pointers",
     "using-namespace-header": "no `using namespace` in headers",
+    "lock-order":
+        "acquired-while-holding graph over util::Mutex capabilities is "
+        "acyclic (static deadlock freedom; --capabilities for the table)",
+    "condvar-hold":
+        "no CondVar::Wait/WaitFor while a second capability is held",
+    "discarded-status":
+        "Status/Result<T> returns are consumed, returned, or (void)-cast "
+        "with a same-line allow(discarded-status) justification",
 }
 
 
@@ -179,6 +229,21 @@ def strip_code(text):
     return "".join(out).split("\n"), text.split("\n")
 
 
+def blank_preprocessor(code_lines):
+    """Blanks preprocessor directives (and their backslash-continuation
+    lines) so macro bodies never confuse brace/paren tracking."""
+    out = []
+    in_directive = False
+    for line in code_lines:
+        if in_directive or line.lstrip().startswith("#"):
+            in_directive = line.rstrip().endswith("\\")
+            out.append("")
+        else:
+            in_directive = False
+            out.append(line)
+    return out
+
+
 def suppressed(raw_line, rule):
     match = ALLOW_RE.search(raw_line)
     if not match:
@@ -187,7 +252,14 @@ def suppressed(raw_line, rule):
     return rule in allowed
 
 
+def finding(file, line, rule, message, witness=None):
+    return {"rule": rule, "file": file, "line": line, "message": message,
+            "witness": witness or []}
+
+
 class Linter:
+    """The token rules: per-line regex invariants."""
+
     def __init__(self, root):
         self.root = root
         self.problems = []
@@ -195,16 +267,9 @@ class Linter:
     def report(self, rel, lineno, rule, message, raw_lines):
         if suppressed(raw_lines[lineno - 1], rule):
             return
-        self.problems.append(f"{rel}:{lineno}: {rule}: {message}")
+        self.problems.append(finding(rel, lineno, rule, message))
 
-    def lint_file(self, path):
-        rel = os.path.relpath(path, self.root).replace(os.sep, "/")
-        try:
-            with open(path, encoding="utf-8") as fh:
-                text = fh.read()
-        except (OSError, UnicodeDecodeError) as err:
-            self.problems.append(f"{rel}: unreadable: {err}")
-            return
+    def lint_file(self, rel, text):
         code, raw = strip_code(text)
 
         in_src = rel.startswith("src/")
@@ -213,7 +278,7 @@ class Linter:
         is_header = rel.endswith(".h")
 
         if layer in ALLOWED_INCLUDES:
-            self.check_layering(rel, layer, code, raw)
+            self.check_layering(rel, layer, raw)
         if deterministic:
             if rel not in CLOCK_EXEMPT:
                 self.check_pattern(rel, code, raw, CLOCK_RE,
@@ -248,8 +313,7 @@ class Linter:
             if pattern.search(line):
                 self.report(rel, lineno, rule, message, raw)
 
-    def check_layering(self, rel, layer, code, raw):
-        del code  # the include path is a string literal — match raw lines
+    def check_layering(self, rel, layer, raw):
         allowed = ALLOWED_INCLUDES[layer]
         for lineno, line in enumerate(raw, start=1):
             match = INCLUDE_RE.match(line)
@@ -323,6 +387,915 @@ class Linter:
         return False
 
 
+# ---------------------------------------------------------------------------
+# Flow-aware analysis: a scanner over the SES_* annotation surface
+# ---------------------------------------------------------------------------
+
+CPP_KEYWORDS = {
+    "if", "while", "for", "switch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "new", "delete", "catch", "throw", "case",
+    "default", "do", "else", "operator", "static_assert", "assert",
+    "void", "int", "bool", "auto", "char", "co_await", "co_return",
+    "co_yield", "static_cast", "dynamic_cast", "reinterpret_cast",
+    "const_cast", "typeid", "alignas", "template", "typename", "using",
+    "explicit", "requires",
+}
+
+MEMBER_MUTEX_RE = re.compile(
+    r"\b(?:ses::)?(?:util::)?(Mutex|SharedMutex)\s+(\w+)\b")
+SCOPED_LOCK_RE = re.compile(
+    r"\b(?:ses::)?(?:util::)?(MutexLock|ReaderMutexLock|WriterMutexLock)"
+    r"\s+\w+\s*\(([^()]+)\)")
+MANUAL_LOCK_RE = re.compile(
+    r"((?:\w+(?:\.|->))*\w+)\s*\.\s*"
+    r"(Lock|LockShared|Unlock|UnlockShared)\s*\(\s*\)")
+WAIT_RE = re.compile(
+    r"((?:\w+(?:\.|->))*\w+)\s*\.\s*(Wait|WaitFor)\s*\(\s*([^,()]+?)\s*[,)]")
+CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*(?:\.|->))*)((?:[A-Za-z_]\w*::)*)([A-Za-z_]\w*)\s*\(")
+ANNOT_RE = re.compile(
+    r"\bSES_(REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED)\s*\(([^()]*)\)")
+MAKE_SMART_RE = re.compile(
+    r"(\w+)\s*=\s*std::make_(?:shared|unique)<\s*((?:\w+::)*\w+)")
+LOCAL_DECL_RE = re.compile(
+    r"^((?:\w+::)*\w+)(?:\s*<[^;=]*>)?\s*[&*]*\s+(\w+)\s*(?:=|\(|$)")
+QUALIFIER_RE = re.compile(
+    r"^(?:(?:mutable|static|const|constexpr|inline|extern|friend|"
+    r"virtual|thread_local)\b\s*)+")
+FUNC_NAME_RE = re.compile(r"([~\w:]+)\s*\($")
+
+
+class Scope:
+    __slots__ = ("kind", "name", "releases", "func", "body")
+
+    def __init__(self, kind, name=None, func=None, body=None):
+        self.kind = kind        # namespace | class | enum | function | block
+        self.name = name        # namespace parts / class simple name
+        self.releases = []      # cap exprs to release when this scope pops
+        self.func = func        # Func record for function scopes
+        self.body = body        # Body dict for function scopes
+
+
+def new_body():
+    return {"events": [], "param_types": {}, "local_types": {},
+            "requires": [], "acquires": []}
+
+
+class Func:
+    __slots__ = ("raw_name", "ns", "lexical_class", "file", "line",
+                 "bodies", "requires_exprs", "acquire_exprs",
+                 "qname", "cls", "simple")
+
+    def __init__(self, raw_name, ns, lexical_class, file, line):
+        self.raw_name = raw_name          # possibly qualified (A::B)
+        self.ns = ns                      # namespace parts at decl site
+        self.lexical_class = lexical_class  # enclosing class qname or None
+        self.file = file
+        self.line = line
+        self.bodies = []                  # one Body dict per definition
+        self.requires_exprs = []          # (expr, ns, lexical_class)
+        self.acquire_exprs = []
+        self.qname = None
+        self.cls = None
+        self.simple = raw_name.split("::")[-1]
+
+
+class CppModel:
+    """Global registries built from scanning every src/ file, then the
+    lock-order / condvar-hold analyses over the merged call graph."""
+
+    def __init__(self):
+        self.caps = {}          # qname -> {kind, file, line}
+        self.classes = {}       # qname -> {simple, members{}, member_types{}}
+        self.raw_funcs = []     # Func records, pre-merge
+        self.raw_lines = {}     # rel -> raw lines (suppression lookups)
+        # Populated by finalize()/analyze():
+        self.funcs = {}         # qname -> merged func dict
+        self.funcs_by_simple = {}
+        self.caps_by_simple = {}
+        self.classes_by_simple = {}
+        self.edges = {}         # (a, b) -> witness dict
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan_file(self, rel, code_lines, raw_lines):
+        self.raw_lines[rel] = raw_lines
+        code_lines = blank_preprocessor(code_lines)
+        text = "\n".join(code_lines)
+        line_starts = [0]
+        for idx, ch in enumerate(text):
+            if ch == "\n":
+                line_starts.append(idx + 1)
+        self._line_starts = line_starts
+        self._rel = rel
+
+        scopes = [Scope("namespace", name=[])]
+        paren = 0
+        chunk_start = 0
+        last_popped_class = None
+        i = 0
+        n = len(text)
+        while i < n:
+            c = text[i]
+            if c == "(":
+                paren += 1
+            elif c == ")":
+                paren = max(0, paren - 1)
+            elif paren == 0 and c in ";{}":
+                chunk = text[chunk_start:i]
+                if c == "{":
+                    self._open_scope(scopes, chunk, chunk_start)
+                    last_popped_class = None
+                elif c == "}":
+                    self._flush_chunk(scopes, chunk, chunk_start,
+                                      last_popped_class)
+                    last_popped_class = self._close_scope(scopes, i)
+                else:
+                    self._flush_chunk(scopes, chunk, chunk_start,
+                                      last_popped_class)
+                    last_popped_class = None
+                chunk_start = i + 1
+            i += 1
+
+    def _lineno(self, pos):
+        return bisect.bisect_right(self._line_starts, pos)
+
+    def _ns_parts(self, scopes):
+        parts = []
+        for s in scopes:
+            if s.kind == "namespace" and s.name:
+                parts.extend(s.name)
+        if parts and parts[0] == "ses":
+            parts = parts[1:]
+        return parts
+
+    def _class_parts(self, scopes):
+        return [s.name for s in scopes if s.kind == "class"]
+
+    def _enclosing_func_scope(self, scopes):
+        for s in reversed(scopes):
+            if s.kind == "function":
+                return s
+        return None
+
+    def _open_scope(self, scopes, head, head_start):
+        h = re.sub(r"\btemplate\s*<[^<>{}]*>", " ", head).strip()
+        # Initializer lists / trailing annotations keep parens in the
+        # head; classification looks at keywords and the first
+        # top-level '(' only.
+        if re.search(r"\benum\b", h):
+            scopes.append(Scope("enum"))
+            return
+        ns = re.match(r"^(?:inline\s+)?namespace\b\s*([\w:]*)", h)
+        if ns:
+            name = [p for p in ns.group(1).split("::") if p]
+            scopes.append(Scope("namespace", name=name))
+            return
+        cls = None
+        for m in re.finditer(r"\b(?:class|struct)\s+"
+                             r"(?:SES_\w+\s*(?:\([^()]*\))?\s*)*"
+                             r"([A-Za-z_]\w*)", h):
+            cls = m.group(1)
+        if cls is not None and "=" not in h.split(cls)[0]:
+            qname = "::".join(self._ns_parts(scopes) +
+                              self._class_parts(scopes) + [cls])
+            self.classes.setdefault(qname, {
+                "simple": cls, "members": {}, "member_types": {},
+                "file": self._rel})
+            scopes.append(Scope("class", name=cls))
+            return
+        if self._enclosing_func_scope(scopes) is not None:
+            scopes.append(Scope("block"))
+            return
+        func = self._match_function(h)
+        if func is None or "=" in h.split("(")[0]:
+            scopes.append(Scope("block"))
+            return
+        record = Func(func, self._ns_parts(scopes),
+                      "::".join(self._ns_parts(scopes) +
+                                self._class_parts(scopes))
+                      if self._class_parts(scopes) else None,
+                      self._rel, self._lineno(head_start))
+        if record.lexical_class is None and not self._class_parts(scopes):
+            record.lexical_class = None
+        body = new_body()
+        self._parse_annotations(h, record)
+        self._parse_params(h, body)
+        record.bodies.append(body)
+        self.raw_funcs.append(record)
+        scopes.append(Scope("function", func=record, body=body))
+
+    @staticmethod
+    def _match_function(head):
+        idx = head.find("(")
+        if idx < 0:
+            return None
+        m = FUNC_NAME_RE.search(head[:idx + 1])
+        if not m:
+            return None
+        name = m.group(1).strip(":")
+        simple = name.split("::")[-1].lstrip("~")
+        if simple in CPP_KEYWORDS or simple.startswith("SES_"):
+            return None
+        return name
+
+    def _parse_annotations(self, text, record):
+        for m in ANNOT_RE.finditer(text):
+            kind = m.group(1)
+            exprs = [e.strip() for e in m.group(2).split(",") if e.strip()]
+            if kind.startswith("REQUIRES"):
+                record.requires_exprs.extend(exprs)
+            else:
+                record.acquire_exprs.extend(exprs)
+
+    @staticmethod
+    def _parse_params(head, body):
+        idx = head.find("(")
+        if idx < 0:
+            return
+        depth = 0
+        end = idx
+        for j in range(idx, len(head)):
+            if head[j] == "(":
+                depth += 1
+            elif head[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    end = j
+                    break
+        params = head[idx + 1:end]
+        for part in re.split(r",(?![^<(]*[>)])", params):
+            part = part.split("=")[0].strip()
+            part = QUALIFIER_RE.sub("", part)
+            m = re.match(r"((?:\w+::)*\w+)(?:\s*<.*>)?\s*[&*]*\s+(\w+)\s*$",
+                         part)
+            if m:
+                body["param_types"][m.group(2)] = m.group(1).split("::")[-1]
+
+    def _close_scope(self, scopes, pos):
+        if len(scopes) <= 1:
+            return None
+        scope = scopes.pop()
+        func_scope = self._enclosing_func_scope(scopes + [scope])
+        if func_scope is not None and scope.releases:
+            for expr in scope.releases:
+                func_scope.body["events"].append(
+                    ("release", expr, self._rel, self._lineno(pos)))
+        return scope.name if scope.kind == "class" else None
+
+    def _flush_chunk(self, scopes, chunk, chunk_start, last_popped_class):
+        s = chunk.strip()
+        if not s:
+            return
+        scope = scopes[-1]
+        func_scope = self._enclosing_func_scope(scopes)
+        if scope.kind == "enum":
+            return
+        if scope.kind in ("namespace", "class"):
+            self._flush_declaration(scopes, scope, s, chunk_start)
+            return
+        if func_scope is None:
+            return
+        body = func_scope.body
+        if last_popped_class and re.fullmatch(r"\w+", s):
+            # `struct S { ... } var;` — the variable is typed by the
+            # class that just closed (score_gen's StopState pattern).
+            body["local_types"][s] = last_popped_class
+            return
+        self._extract_events(scopes, body, chunk, chunk_start)
+
+    def _flush_declaration(self, scopes, scope, s, chunk_start):
+        stripped = QUALIFIER_RE.sub("", s)
+        mm = MEMBER_MUTEX_RE.search(stripped)
+        lineno = self._lineno(chunk_start)
+        owner = "::".join(self._ns_parts(scopes) + self._class_parts(scopes))
+        if mm:
+            qname = (owner + "::" + mm.group(2)) if owner else mm.group(2)
+            kind = "mutex" if mm.group(1) == "Mutex" else "shared_mutex"
+            if qname not in self.caps:
+                self.caps[qname] = {"kind": kind, "file": self._rel,
+                                    "line": lineno}
+            if scope.kind == "class":
+                cls = self._current_class_qname(scopes)
+                self.classes[cls]["members"][mm.group(2)] = qname
+            return
+        # Method / free-function declaration (no body): keep the SES_*
+        # annotations — a header-declared SES_ACQUIRE function is a real
+        # node in the call graph even if its definition lives elsewhere.
+        name = self._match_function(stripped)
+        if name is not None and ANNOT_RE.search(stripped) or (
+                name is not None and "(" in stripped):
+            record = Func(name, self._ns_parts(scopes),
+                          self._current_class_qname(scopes)
+                          if scope.kind == "class" else None,
+                          self._rel, lineno)
+            self._parse_annotations(stripped, record)
+            self.raw_funcs.append(record)
+            return
+        if scope.kind == "class":
+            m = re.match(
+                r"^((?:\w+::)*\w+)(?:\s*<[^;]*>)?\s*[&*]*\s+(\w+)", stripped)
+            if m:
+                cls = self._current_class_qname(scopes)
+                self.classes[cls]["member_types"][m.group(2)] = \
+                    m.group(1).split("::")[-1]
+
+    def _current_class_qname(self, scopes):
+        return "::".join(self._ns_parts(scopes) + self._class_parts(scopes))
+
+    def _extract_events(self, scopes, body, chunk, chunk_start):
+        # Local variable typing (for obj.method call resolution).
+        stripped = QUALIFIER_RE.sub("", chunk.strip())
+        m = MAKE_SMART_RE.search(stripped)
+        if m:
+            body["local_types"][m.group(1)] = m.group(2).split("::")[-1]
+        else:
+            m = LOCAL_DECL_RE.match(stripped)
+            if m and m.group(1).split("::")[-1] not in CPP_KEYWORDS:
+                body["local_types"][m.group(2)] = m.group(1).split("::")[-1]
+
+        # Brace depth inside the chunk (braces here are always inside
+        # parens — lambdas passed as call arguments).
+        depth_at = []
+        d = 0
+        for ch in chunk:
+            depth_at.append(d)
+            if ch == "{":
+                d += 1
+            elif ch == "}":
+                d = max(0, d - 1)
+
+        events = []  # (pos, tuple)
+        spans = []
+
+        def in_span(pos):
+            return any(a <= pos < b for a, b in spans)
+
+        for m in SCOPED_LOCK_RE.finditer(chunk):
+            kind, arg = m.group(1), m.group(2).strip()
+            shared = kind == "ReaderMutexLock"
+            line = self._lineno(chunk_start + m.start())
+            events.append((m.start(),
+                           ("acquire", arg, shared, self._rel, line)))
+            spans.append(m.span())
+            d0 = depth_at[m.start()]
+            if d0 > 0:
+                # Lambda-internal scoped lock: released where its
+                # enclosing lambda block closes inside this chunk.
+                rel_pos = len(chunk)
+                dd = d0
+                for j in range(m.end(), len(chunk)):
+                    if chunk[j] == "{":
+                        dd += 1
+                    elif chunk[j] == "}":
+                        dd -= 1
+                        if dd < d0:
+                            rel_pos = j
+                            break
+                events.append((rel_pos, ("release", arg, self._rel,
+                                         self._lineno(chunk_start + rel_pos))))
+            else:
+                scopes[-1].releases.append(arg)
+        for m in MANUAL_LOCK_RE.finditer(chunk):
+            obj, op = m.group(1), m.group(2)
+            line = self._lineno(chunk_start + m.start())
+            if op in ("Lock", "LockShared"):
+                events.append((m.start(), ("acquire", obj,
+                                           op == "LockShared",
+                                           self._rel, line)))
+            else:
+                events.append((m.start(), ("release", obj, self._rel, line)))
+            spans.append(m.span())
+        for m in WAIT_RE.finditer(chunk):
+            if in_span(m.start()):
+                continue
+            line = self._lineno(chunk_start + m.start())
+            events.append((m.start(), ("wait", m.group(3).strip(),
+                                       self._rel, line)))
+            spans.append(m.span())
+        for m in CALL_RE.finditer(chunk):
+            name = m.group(3)
+            if name in CPP_KEYWORDS or name.startswith("SES_"):
+                continue
+            if in_span(m.start()):
+                continue
+            obj = m.group(1).rstrip(".").rstrip("->").rstrip(".")
+            line = self._lineno(chunk_start + m.start())
+            events.append((m.start(), ("call", obj, name, self._rel, line)))
+
+        events.sort(key=lambda e: e[0])
+        body["events"].extend(ev for _, ev in events)
+
+    # -- resolution ---------------------------------------------------------
+
+    def finalize(self):
+        self.caps_by_simple = {}
+        for qname in self.caps:
+            self.caps_by_simple.setdefault(qname.split("::")[-1],
+                                           []).append(qname)
+        self.classes_by_simple = {}
+        for qname, cls in self.classes.items():
+            self.classes_by_simple.setdefault(cls["simple"],
+                                              []).append(qname)
+
+        # Merge declarations and definitions by resolved qname.
+        self.funcs = {}
+        for rec in self.raw_funcs:
+            qname = self._resolve_func_qname(rec)
+            merged = self.funcs.setdefault(qname, {
+                "qname": qname, "simple": rec.simple.lstrip("~"),
+                "cls": None, "file": rec.file, "line": rec.line,
+                "bodies": [], "requires_exprs": [], "acquire_exprs": [],
+                "ns": rec.ns})
+            cls = self._resolve_func_class(rec)
+            if cls is not None:
+                merged["cls"] = cls
+            merged["bodies"].extend(rec.bodies)
+            merged["requires_exprs"].extend(rec.requires_exprs)
+            merged["acquire_exprs"].extend(rec.acquire_exprs)
+        self.funcs_by_simple = {}
+        for qname, f in self.funcs.items():
+            self.funcs_by_simple.setdefault(f["simple"], []).append(qname)
+
+    def _resolve_func_class(self, rec):
+        if rec.lexical_class:
+            return rec.lexical_class
+        name = rec.raw_name
+        if "::" in name:
+            prefix = name.split("::")[-2]
+            cands = self.classes_by_simple.get(prefix, [])
+            if len(cands) == 1:
+                return cands[0]
+            for cand in cands:
+                if cand.startswith("::".join(rec.ns)):
+                    return cand
+        return None
+
+    def _resolve_func_qname(self, rec):
+        cls = self._resolve_func_class(rec)
+        simple = rec.simple
+        if cls is not None:
+            return cls + "::" + simple
+        return "::".join(rec.ns + [simple]) if rec.ns else simple
+
+    def resolve_cap(self, expr, func, body):
+        """Maps a capability expression (bare member, namespace-scope
+        name, or dotted path) to a capability id. Unresolvable
+        expressions get a per-function-local id — correct for locals,
+        and incapable of forming false cross-function aliases."""
+        expr = expr.strip().lstrip("&").strip()
+        expr = expr.replace("->", ".")
+        expr = re.sub(r"^this\.", "", expr)
+        if not expr or not re.fullmatch(r"[\w.]+", expr):
+            return None
+        parts = expr.split(".")
+        cls = self.classes.get(func["cls"]) if func["cls"] else None
+        if len(parts) == 1:
+            name = parts[0]
+            if cls and name in cls["members"]:
+                return cls["members"][name]
+            cands = self.caps_by_simple.get(name, [])
+            if len(cands) == 1:
+                return cands[0]
+            return f"<local {func['qname']}::{expr}>"
+        obj, field = ".".join(parts[:-1]), parts[-1]
+        obj_simple = parts[0]
+        obj_type = (body["local_types"].get(obj_simple) or
+                    body["param_types"].get(obj_simple) or
+                    (cls["member_types"].get(obj_simple) if cls else None))
+        if obj_type:
+            tcands = self.classes_by_simple.get(obj_type, [])
+            if len(tcands) == 1:
+                members = self.classes[tcands[0]]["members"]
+                if field in members:
+                    return members[field]
+        cands = self.caps_by_simple.get(field, [])
+        if len(cands) == 1:
+            return cands[0]
+        return f"<local {func['qname']}::{obj}.{field}>"
+
+    def resolve_call(self, obj, name, func, body):
+        """Returns the qnames a call may dispatch to. Typed objects
+        narrow to the exact class; everything else unions over all
+        same-named functions (conservative)."""
+        cands = self.funcs_by_simple.get(name, [])
+        if not cands:
+            return []
+        if obj and obj not in ("this",):
+            obj_simple = obj.replace("->", ".").split(".")[0]
+            cls = self.classes.get(func["cls"]) if func["cls"] else None
+            obj_type = (body["local_types"].get(obj_simple) or
+                        body["param_types"].get(obj_simple) or
+                        (cls["member_types"].get(obj_simple)
+                         if cls else None))
+            if obj_type:
+                tcands = self.classes_by_simple.get(obj_type, [])
+                if len(tcands) == 1:
+                    narrowed = [q for q in cands
+                                if self.funcs[q]["cls"] == tcands[0]]
+                    if narrowed:
+                        return narrowed
+                    return []
+        return cands
+
+    # -- analysis -----------------------------------------------------------
+
+    def analyze(self):
+        """Runs the lock-order and condvar-hold analyses; returns the
+        findings list and leaves the edge graph on self.edges."""
+        # Transitive acquire summaries, to a fixpoint over the call
+        # graph: tacq(F) = direct acquires ∪ tacq(resolved callees).
+        tacq = {}
+        call_edges = {}
+        for qname, f in self.funcs.items():
+            direct = set()
+            for expr in f["acquire_exprs"]:
+                body = f["bodies"][0] if f["bodies"] else new_body()
+                cap = self.resolve_cap(expr, f, body)
+                if cap:
+                    direct.add(cap)
+            callees = set()
+            for body in f["bodies"]:
+                for ev in body["events"]:
+                    if ev[0] == "acquire":
+                        cap = self.resolve_cap(ev[1], f, body)
+                        if cap:
+                            direct.add(cap)
+                    elif ev[0] == "call":
+                        callees.update(self.resolve_call(ev[1], ev[2],
+                                                         f, body))
+            tacq[qname] = direct
+            call_edges[qname] = callees
+        changed = True
+        while changed:
+            changed = False
+            for qname in self.funcs:
+                before = len(tacq[qname])
+                for callee in call_edges[qname]:
+                    tacq[qname] |= tacq.get(callee, set())
+                if len(tacq[qname]) != before:
+                    changed = True
+
+        findings = []
+        self.edges = {}
+        for qname in sorted(self.funcs):
+            f = self.funcs[qname]
+            for body in f["bodies"]:
+                findings.extend(self._walk_body(f, body, tacq))
+        findings.extend(self._cycle_findings())
+        return findings
+
+    def _allowed(self, rel, line, rule):
+        raw = self.raw_lines.get(rel)
+        if raw is None or not 1 <= line <= len(raw):
+            return False
+        return suppressed(raw[line - 1], rule)
+
+    def _add_edge(self, held_from, to, rel, line, func, via):
+        if self._allowed(rel, line, "lock-order"):
+            return
+        key = (held_from, to)
+        if key not in self.edges:
+            self.edges[key] = {"file": rel, "line": line,
+                               "func": func, "via": via}
+
+    def _walk_body(self, f, body, tacq):
+        findings = []
+        held = []
+        for expr in f["requires_exprs"]:
+            cap = self.resolve_cap(expr, f, body)
+            if cap and cap not in held:
+                held.append(cap)
+        for ev in body["events"]:
+            kind = ev[0]
+            if kind == "acquire":
+                cap = self.resolve_cap(ev[1], f, body)
+                if not cap:
+                    continue
+                rel, line = ev[3], ev[4]
+                for h in held:
+                    self._add_edge(h, cap, rel, line, f["qname"],
+                                   "acquires")
+                if cap not in held:
+                    held.append(cap)
+            elif kind == "release":
+                cap = self.resolve_cap(ev[1], f, body)
+                if cap in held:
+                    held.remove(cap)
+            elif kind == "wait":
+                cap = self.resolve_cap(ev[1], f, body)
+                rel, line = ev[2], ev[3]
+                extra = [h for h in held if h != cap]
+                if extra and not self._allowed(rel, line, "condvar-hold"):
+                    findings.append(finding(
+                        rel, line, "condvar-hold",
+                        f"CondVar wait on {cap or ev[1]} in {f['qname']} "
+                        f"while also holding {', '.join(extra)} — the "
+                        "wait releases only its own mutex, so the "
+                        "second lock blocks every would-be notifier"))
+            elif kind == "call":
+                if not held:
+                    continue
+                targets = set()
+                for callee in self.resolve_call(ev[1], ev[2], f, body):
+                    targets |= tacq.get(callee, set())
+                rel, line = ev[3], ev[4]
+                for cap in sorted(targets):
+                    if cap in held:
+                        continue  # re-acquire guards are the callee's bug
+                    for h in held:
+                        self._add_edge(h, cap, rel, line, f["qname"],
+                                       f"calls {ev[2]}")
+        return findings
+
+    def _cycle_findings(self):
+        graph = {}
+        for (a, b) in self.edges:
+            graph.setdefault(a, set()).add(b)
+            graph.setdefault(b, set())
+        sccs = tarjan_sccs(graph)
+        findings = []
+        for scc in sccs:
+            scc_set = set(scc)
+            if len(scc) == 1:
+                node = scc[0]
+                if (node, node) not in self.edges:
+                    continue
+            cycle = self._cycle_path(sorted(scc)[0], scc_set, graph)
+            if not cycle:
+                continue
+            witness = []
+            for a, b in zip(cycle, cycle[1:]):
+                w = self.edges[(a, b)]
+                witness.append(f"{a} -> {b} at {w['file']}:{w['line']} "
+                               f"in {w['func']} ({w['via']})")
+            first = self.edges[(cycle[0], cycle[1])]
+            path = " -> ".join(cycle)
+            findings.append(finding(
+                first["file"], first["line"], "lock-order",
+                f"acquired-while-holding cycle: {path} — two threads "
+                "taking these locks in opposite order deadlock "
+                f"[witness: {'; '.join(witness)}]", witness))
+        return findings
+
+    @staticmethod
+    def _cycle_path(start, scc_set, graph):
+        """A concrete witness cycle from `start` back to itself staying
+        inside one SCC (or a self-loop)."""
+        if start in graph.get(start, ()):
+            return [start, start]
+        stack = [(start, [start])]
+        seen = set()
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(graph.get(node, ())):
+                if nxt == start and len(path) > 1:
+                    return path + [start]
+                if nxt in scc_set and nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- capability inventory ----------------------------------------------
+
+    def capabilities_table(self):
+        """The derived mutex inventory plus, per capability, which other
+        capabilities can be held at any of its acquisition sites — the
+        canonical acquisition-order table docs/ARCHITECTURE.md embeds
+        verbatim (pinned by the docs-lockstep test)."""
+        rows = [("capability", "kind", "declared-in", "held-when-acquiring")]
+        held_before = {}
+        for (a, b) in self.edges:
+            held_before.setdefault(b, set()).add(a)
+        for qname in sorted(self.caps):
+            cap = self.caps[qname]
+            before = sorted(h for h in held_before.get(qname, ())
+                            if not h.startswith("<local "))
+            rows.append((qname, cap["kind"], cap["file"],
+                         ", ".join(before) if before else "(none)"))
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        lines = []
+        for idx, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)).rstrip())
+            if idx == 0:
+                lines.append("  ".join("-" * widths[i]
+                                       for i in range(4)).rstrip())
+        return "\n".join(lines)
+
+
+def tarjan_sccs(graph):
+    """Iterative Tarjan strongly-connected components, deterministic
+    over sorted node order."""
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    scc.append(top)
+                    if top == node:
+                        break
+                sccs.append(sorted(scc))
+    return sccs
+
+
+# ---------------------------------------------------------------------------
+# Status-propagation discipline
+# ---------------------------------------------------------------------------
+
+STATUS_FN_RE = re.compile(
+    r"\b(?:ses::)?(?:util::)?(?:Status|Result\s*<[^;{}=]*>)\s+"
+    r"(?:\w+(?:<[^<>]*>)?::)*([A-Za-z_]\w*)\s*\(")
+VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*$")
+CONTROL_INIT_KEYWORDS = {"if", "switch", "for", "while"}
+
+
+def status_function_names(files):
+    """Every simple name declared anywhere in the tree with a
+    util::Status / util::Result<T> return type — the database the
+    discard scan checks call sites against."""
+    names = set()
+    for rel, code_lines in files.items():
+        del rel
+        text = "\n".join(blank_preprocessor(code_lines))
+        for m in STATUS_FN_RE.finditer(text):
+            names.add(m.group(1))
+    return names
+
+
+def check_discarded_status(rel, code_lines, raw_lines, names):
+    """Flags statement-position calls to Status-returning functions
+    whose value evaporates. Three accepted shapes: consume it, return
+    it, or `(void)call(); // ses-lint: allow(discarded-status)` — the
+    cast makes the discard explicit, the suppression carries the
+    reason. [[nodiscard]] makes the compiler the backstop for anything
+    this token-level scan cannot see (nested lambdas, macro bodies)."""
+    findings = []
+    text = "\n".join(blank_preprocessor(code_lines))
+    line_starts = [0]
+    for idx, ch in enumerate(text):
+        if ch == "\n":
+            line_starts.append(idx + 1)
+
+    # Paren depth prefix and, per open paren, the keyword before it —
+    # so `for (x; F(); ...)` conditions are not mistaken for discards
+    # while `Submit([&]{ F(); })` lambda bodies still are.
+    opener_stack = []
+    opener_at = [None] * len(text)
+    depth = [0] * (len(text) + 1)
+    d = 0
+    for i, ch in enumerate(text):
+        opener_at[i] = opener_stack[-1] if opener_stack else None
+        depth[i] = d
+        if ch == "(":
+            before = text[:i].rstrip()
+            kw = re.search(r"([A-Za-z_]\w*)$", before)
+            opener_stack.append(kw.group(1) if kw else "")
+            d += 1
+        elif ch == ")":
+            if opener_stack:
+                opener_stack.pop()
+            d = max(0, d - 1)
+
+    def prev_nonws(pos):
+        j = pos - 1
+        while j >= 0 and text[j].isspace():
+            j -= 1
+        return (text[j], j) if j >= 0 else ("", -1)
+
+    def close_of_call(open_pos):
+        dd = 0
+        for j in range(open_pos, len(text)):
+            if text[j] == "(":
+                dd += 1
+            elif text[j] == ")":
+                dd -= 1
+                if dd == 0:
+                    return j
+        return -1
+
+    def next_nonws(pos):
+        j = pos
+        while j < len(text) and text[j].isspace():
+            j += 1
+        return text[j] if j < len(text) else ""
+
+    def chain_ends_in_semicolon(close_pos):
+        """True when the expression containing the call terminates at a
+        statement `;` — a comma chain like `F(), G();` does; a
+        brace-initializer element `{F(), x}` hits its closing `}` first
+        and an argument `g(F(), x)` hits its closing `)` first."""
+        pd = bd = 0
+        for j in range(close_pos + 1, len(text)):
+            ch = text[j]
+            if ch == "(":
+                pd += 1
+            elif ch == ")":
+                if pd == 0:
+                    return False
+                pd -= 1
+            elif ch == "{":
+                bd += 1
+            elif ch == "}":
+                if bd == 0:
+                    return False
+                bd -= 1
+            elif ch == ";" and pd == 0 and bd == 0:
+                return True
+        return False
+
+    for m in CALL_RE.finditer(text):
+        name = m.group(3)
+        if name not in names:
+            continue
+        open_pos = text.index("(", m.end() - 1)
+        close_pos = close_of_call(open_pos)
+        if close_pos < 0:
+            continue
+        lineno = bisect.bisect_right(line_starts, m.start())
+        raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        allowed = suppressed(raw_line, "discarded-status")
+        pc, _ = prev_nonws(m.start())
+        nc = next_nonws(close_pos + 1)
+        void_cast = VOID_CAST_RE.search(text[:m.start()]) is not None
+
+        if void_cast:
+            if not allowed:
+                findings.append(finding(
+                    rel, lineno, "discarded-status",
+                    f"(void)-discard of Status-returning '{name}' needs "
+                    "a same-line `// ses-lint: allow(discarded-status)` "
+                    "with the justification"))
+            continue
+
+        opener = opener_at[m.start()]
+        in_control_header = opener in CONTROL_INIT_KEYWORDS
+        discard = False
+        if pc == "(" and in_control_header and nc == ";":
+            discard = True  # if/switch/for init-statement
+        elif pc in (";", "{", "}", ",", "") and nc in (";", ","):
+            # Statement position (including lambda bodies nested in
+            # call arguments) — but never a for/while header clause,
+            # never a brace-initializer element or argument slot.
+            if not (depth[m.start()] > 0 and in_control_header):
+                discard = (nc == ";" or
+                           chain_ends_in_semicolon(close_pos))
+        if not discard:
+            continue
+        if allowed:
+            findings.append(finding(
+                rel, lineno, "discarded-status",
+                f"suppressed discard of Status-returning '{name}' must "
+                "be explicit: write `(void)...;` next to the allow "
+                "comment"))
+        else:
+            findings.append(finding(
+                rel, lineno, "discarded-status",
+                f"result of Status-returning '{name}' is discarded — "
+                "consume it, return it (SES_RETURN_IF_ERROR / "
+                "SES_ASSIGN_OR_RETURN), or make the drop explicit with "
+                "`(void)` plus a same-line allow(discarded-status)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
 def collect(paths):
     files = []
     for path in paths:
@@ -336,16 +1309,85 @@ def collect(paths):
     return files
 
 
+def compile_commands_filter(files, cc_path):
+    """Keeps headers plus exactly the *.cc translation units the build
+    exports in compile_commands.json."""
+    try:
+        with open(cc_path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"ses_lint: cannot read {cc_path}: {err}", file=sys.stderr)
+        return files
+    built = set()
+    for entry in entries:
+        src = entry.get("file", "")
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", ""), src)
+        built.add(os.path.realpath(src))
+    return [f for f in files
+            if f.endswith(".h") or os.path.realpath(f) in built]
+
+
+def changed_files(root, ref):
+    """Repo-relative paths that differ from `ref`, plus untracked
+    files; None when git is unavailable (caller reports everything)."""
+    try:
+        diff = subprocess.run(
+            ["git", "-C", root, "diff", "--name-only", ref, "--"],
+            capture_output=True, text=True, check=True)
+        untracked = subprocess.run(
+            ["git", "-C", root, "ls-files", "--others",
+             "--exclude-standard"],
+            capture_output=True, text=True, check=True)
+    except (OSError, subprocess.CalledProcessError) as err:
+        print(f"ses_lint: --changed-only: git failed ({err}); "
+              "reporting all findings", file=sys.stderr)
+        return None
+    changed = set()
+    for out in (diff.stdout, untracked.stdout):
+        changed.update(line.strip() for line in out.splitlines()
+                       if line.strip())
+    return changed
+
+
+def render_text(problems, checked):
+    for p in sorted(problems, key=lambda p: (p["file"], p["line"],
+                                             p["rule"], p["message"])):
+        print(f"{p['file']}:{p['line']}: {p['rule']}: {p['message']}",
+              file=sys.stderr)
+    print(f"ses_lint: checked {checked} file(s): "
+          f"{len(problems)} problem(s)")
+
+
+def render_json(problems):
+    for p in sorted(problems, key=lambda p: (p["file"], p["line"],
+                                             p["rule"], p["message"])):
+        print(json.dumps(p, sort_keys=True))
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
-        description="ses project-invariant linter")
+        description="ses project-invariant linter and flow analyzer")
     parser.add_argument("--root", default=None,
                         help="repository root (default: parent of tools/)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule ids and one-line descriptions")
+    parser.add_argument("--capabilities", action="store_true",
+                        help="dump the derived mutex/acquisition-order "
+                             "table and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="finding output format (default: text)")
+    parser.add_argument("--changed-only", metavar="GIT_REF", default=None,
+                        help="report only findings touching files that "
+                             "differ from GIT_REF (analysis still runs "
+                             "over the whole tree)")
+    parser.add_argument("--compile-commands", metavar="FILE", default=None,
+                        help="restrict scanned *.cc files to translation "
+                             "units listed in this compile_commands.json")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: src tools "
-                             "tests under --root)")
+                             "tests bench examples under --root)")
     args = parser.parse_args(argv[1:])
 
     if args.list_rules:
@@ -356,17 +1398,63 @@ def main(argv):
     root = os.path.abspath(args.root) if args.root else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
     paths = [os.path.join(root, p) if not os.path.isabs(p) else p
-             for p in (args.paths or ["src", "tools", "tests"])]
+             for p in (args.paths or
+                       ["src", "tools", "tests", "bench", "examples"])]
     paths = [p for p in paths if os.path.exists(p)]
 
+    files = collect(paths)
+    if args.compile_commands:
+        files = compile_commands_filter(files, args.compile_commands)
+
     linter = Linter(root)
-    for path in collect(paths):
-        linter.lint_file(path)
-    for problem in sorted(linter.problems):
-        print(problem, file=sys.stderr)
-    print(f"ses_lint: checked {len(collect(paths))} file(s): "
-          f"{len(linter.problems)} problem(s)")
-    return 1 if linter.problems else 0
+    model = CppModel()
+    contents = {}   # rel -> code_lines (for the status-name database)
+    raws = {}
+    for path in files:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except (OSError, UnicodeDecodeError) as err:
+            linter.problems.append(finding(rel, 0, "unreadable", str(err)))
+            continue
+        linter.lint_file(rel, text)
+        code, raw = strip_code(text)
+        contents[rel] = code
+        raws[rel] = raw
+        if rel.startswith("src/") and rel not in FLOW_EXEMPT:
+            model.scan_file(rel, code, raw)
+
+    model.finalize()
+    problems = list(linter.problems)
+    problems.extend(model.analyze())
+
+    if args.capabilities:
+        print(model.capabilities_table())
+        return 0
+
+    names = status_function_names(contents)
+    for rel in sorted(contents):
+        if rel in FLOW_EXEMPT:
+            continue
+        problems.extend(check_discarded_status(rel, contents[rel],
+                                               raws[rel], names))
+
+    if args.changed_only is not None:
+        changed = changed_files(root, args.changed_only)
+        if changed is not None:
+            def touches(p):
+                if p["file"] in changed:
+                    return True
+                return any(f"at {c}:" in w for w in p["witness"]
+                           for c in changed)
+            problems = [p for p in problems if touches(p)]
+
+    if args.format == "json":
+        render_json(problems)
+    else:
+        render_text(problems, len(files))
+    return 1 if problems else 0
 
 
 if __name__ == "__main__":
