@@ -61,6 +61,7 @@
 #include "core/instance.h"
 #include "core/schedule.h"
 #include "core/types.h"
+#include "util/hot_annotations.h"
 #include "util/status.h"
 
 namespace ses::core {
@@ -89,7 +90,12 @@ class AttendanceModel {
 
   /// Eq. 4: utility gain of assigning unassigned event \p e to \p t under
   /// the current schedule. Does not modify the schedule.
-  double MarginalGain(EventIndex e, IntervalIndex t);
+  ///
+  /// SES_HOT: the O(|E|·|T|) score-generation loop (Algorithm 1 lines
+  /// 2–4) funnels through here — the hot-path lint proves this call
+  /// tree allocation-, lock-, and IO-free, and
+  /// tests/core_hot_path_alloc_test.cc re-proves it at runtime.
+  SES_HOT double MarginalGain(EventIndex e, IntervalIndex t);
 
   /// Assigns e to t (must be valid) and updates the tracked utility by
   /// the exact gain.
@@ -107,12 +113,16 @@ class AttendanceModel {
 
  private:
   /// Rebuilds dense scratch (denominators, scheduled mass, sigma row) for
-  /// interval \p t unless already loaded.
-  void LoadInterval(IntervalIndex t);
+  /// interval \p t unless already loaded. Steady-state loads (cache
+  /// replay or scratch accumulate) are allocation-free: every growable
+  /// buffer is reserved to its instance-dimension bound at
+  /// construction, and the one materializing path is split into
+  /// MaterializeCache below.
+  SES_HOT void LoadInterval(IntervalIndex t);
 
   /// Adds (sign=+1) or removes (sign=-1) event \p e's interest row from
   /// the loaded scratch.
-  void TouchLoaded(EventIndex e, double sign);
+  SES_HOT void TouchLoaded(EventIndex e, double sign);
 
   /// Schedule-independent per-interval state, cached on second load.
   struct IntervalCache {
@@ -131,6 +141,13 @@ class AttendanceModel {
     /// Dense sigma(u, t) row.
     std::vector<float> sigma;
   };
+
+  /// The deliberately cold half of LoadInterval: snapshots interval
+  /// \p t's competing masses and sigma row into its cache entry
+  /// (allocating) on the interval's second load. Runs at most once per
+  /// interval per eviction cycle — its call edge carries the hot-path
+  /// suppression so the allocations stay quarantined here.
+  void MaterializeCache(IntervalIndex t, IntervalCache& cache);
 
   /// Frees the least-recently-loaded ready entry (capacity reached).
   void EvictLeastRecent();

@@ -49,7 +49,10 @@ double AttendanceProbability(const SesInstance& instance,
     denominator += instance.EventInterest(p, u);
   }
   if (denominator <= 0.0) return 0.0;
-  return instance.sigma().At(u, t) * mu / denominator;
+  // SigmaProvider is the one sanctioned extension point on this path;
+  // a single per-call virtual At is the reference semantics here (the
+  // incremental engine amortizes it away via FillInterval instead).
+  return instance.sigma().At(u, t) * mu / denominator;  // ses-lint: allow(hot-path) sanctioned SigmaProvider dispatch
 }
 
 double ExpectedAttendance(const SesInstance& instance,

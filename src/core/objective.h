@@ -15,15 +15,21 @@
 
 #include "core/instance.h"
 #include "core/schedule.h"
+#include "util/hot_annotations.h"
 
 namespace ses::core {
 
 /// Eq. 1: probability that \p u attends event \p e under \p schedule.
 /// \p e must be assigned. Returns 0 when the denominator is empty (the
 /// user is interested in nothing happening at that interval).
-double AttendanceProbability(const SesInstance& instance,
-                             const Schedule& schedule, UserIndex u,
-                             EventIndex e);
+///
+/// SES_HOT: evaluators sweep this over every (user, event) pair when
+/// reporting per-user probabilities, so the per-call body must stay
+/// allocation-free (the aggregate helpers below build scratch maps and
+/// are deliberately not hot).
+SES_HOT double AttendanceProbability(const SesInstance& instance,
+                                     const Schedule& schedule, UserIndex u,
+                                     EventIndex e);
 
 /// Eq. 2: expected attendance of assigned event \p e under \p schedule.
 double ExpectedAttendance(const SesInstance& instance,

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/attendance.h"
+#include "util/hot_annotations.h"
 #include "util/logging.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -18,13 +19,21 @@ namespace {
 /// Scores intervals [lo, hi) on \p model, writing into the dense grid.
 /// Returns the number of evaluations; sets \p termination and stops at
 /// an interval boundary when the context says so.
-uint64_t ScoreRange(const SesInstance& instance, AttendanceModel& model,
-                    const SolveContext& context, size_t lo, size_t hi,
-                    std::vector<double>& scores, util::Status* termination) {
+///
+/// SES_HOT: this is the per-shard fill of the O(|E|·|T|) generation
+/// pass — every cell funnels through MarginalGain with no per-cell
+/// allocation, locking, or IO.
+SES_HOT uint64_t ScoreRange(const SesInstance& instance,
+                            AttendanceModel& model,
+                            const SolveContext& context, size_t lo, size_t hi,
+                            std::vector<double>& scores,
+                            util::Status* termination) {
   const size_t num_events = instance.num_events();
   uint64_t evaluations = 0;
   for (size_t t = lo; t < hi; ++t) {
-    if (context.CheckStop(termination)) break;
+    // Deliberate boundary poll: one deadline/cancellation check per
+    // interval row (a clock read), amortized over |E| gain evaluations.
+    if (context.CheckStop(termination)) break;  // ses-lint: allow(hot-path) boundary poll, once per |E|-cell row
     for (EventIndex e = 0; e < num_events; ++e) {
       if (model.schedule().IsAssigned(e)) continue;  // warm-started
       scores[t * num_events + e] =

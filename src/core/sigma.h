@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "util/hot_annotations.h"
 #include "util/logging.h"
 
 namespace ses::core {
@@ -31,6 +32,12 @@ class SigmaProvider {
   /// Fills out[u] = sigma(u, t) for u in [0, out.size()). The default
   /// implementation loops over At; providers may override with a faster
   /// bulk fill.
+  ///
+  /// The concrete providers' overrides are SES_HOT (AttendanceModel
+  /// bulk-fills a row on every interval load); this generic fallback
+  /// is deliberately not — its per-entry virtual At loop is exactly
+  /// what the hot-path rule exists to flag, so a provider that wants
+  /// on the hot path must bring its own fill.
   virtual void FillInterval(IntervalIndex t, std::span<float> out) const;
 };
 
@@ -42,8 +49,11 @@ class ConstSigma final : public SigmaProvider {
     SES_CHECK_LE(value, 1.0);
   }
 
-  double At(UserIndex, IntervalIndex) const override { return value_; }
-  void FillInterval(IntervalIndex t, std::span<float> out) const override;
+  SES_HOT double At(UserIndex, IntervalIndex) const override {
+    return value_;
+  }
+  SES_HOT void FillInterval(IntervalIndex t,
+                            std::span<float> out) const override;
 
  private:
   double value_;
@@ -56,8 +66,9 @@ class DenseSigma final : public SigmaProvider {
   /// \param rows rows[t][u] = sigma(u, t); all rows must share a size.
   explicit DenseSigma(std::vector<std::vector<float>> rows);
 
-  double At(UserIndex u, IntervalIndex t) const override;
-  void FillInterval(IntervalIndex t, std::span<float> out) const override;
+  SES_HOT double At(UserIndex u, IntervalIndex t) const override;
+  SES_HOT void FillInterval(IntervalIndex t,
+                            std::span<float> out) const override;
 
  private:
   std::vector<std::vector<float>> rows_;
@@ -71,8 +82,9 @@ class HashUniformSigma final : public SigmaProvider {
  public:
   explicit HashUniformSigma(uint64_t seed) : seed_(seed) {}
 
-  double At(UserIndex u, IntervalIndex t) const override;
-  void FillInterval(IntervalIndex t, std::span<float> out) const override;
+  SES_HOT double At(UserIndex u, IntervalIndex t) const override;
+  SES_HOT void FillInterval(IntervalIndex t,
+                            std::span<float> out) const override;
 
  private:
   uint64_t seed_;

@@ -1,0 +1,52 @@
+#ifndef SES_UTIL_ALLOC_GUARD_H_
+#define SES_UTIL_ALLOC_GUARD_H_
+
+/// \file
+/// Thread-local allocation counting — the dynamic half of the SES_HOT
+/// contract (util/hot_annotations.h).
+///
+/// When the build enables `-DSES_ALLOC_GUARD=ON`, alloc_guard.cc
+/// replaces the global `operator new` / `operator delete` family with
+/// forwarding versions that bump a thread-local counter on every
+/// allocation (sanitizer-style interposition: AddressSanitizer still
+/// sees the underlying malloc, so the two compose). Tests wrap a hot
+/// region in a `ScopedAllocCheck` and assert `allocations() == 0`; see
+/// tests/core_hot_path_alloc_test.cc for the kernels this pins.
+///
+/// Off by default: in a normal build these functions compile to a
+/// constant 0 and the global allocator is untouched. The counter is
+/// strictly per-thread — allocations on other threads never leak into
+/// a check, so the guard is usable under the parallel solver.
+
+#include <cstdint>
+
+namespace ses::util {
+
+// Number of heap allocations this thread has performed since it
+// started. Constant 0 when the interposer is compiled out.
+uint64_t ThreadAllocCount();
+
+// True when the counting interposer is linked in (SES_ALLOC_GUARD=ON).
+// Tests use this to GTEST_SKIP instead of vacuously passing.
+bool AllocGuardEnabled();
+
+// Snapshot-on-construction window over ThreadAllocCount(). Nests
+// freely: each instance measures from its own construction point.
+//
+//   util::ScopedAllocCheck check;
+//   HotKernel();
+//   EXPECT_EQ(check.allocations(), 0u);
+class ScopedAllocCheck {
+ public:
+  ScopedAllocCheck() : start_(ThreadAllocCount()) {}
+
+  // Allocations made by this thread since construction.
+  uint64_t allocations() const { return ThreadAllocCount() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_ALLOC_GUARD_H_

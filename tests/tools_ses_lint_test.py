@@ -246,10 +246,12 @@ class SuppressionTest(LintFixture):
         self.assert_clean()
 
     def test_allow_lists_several_rules(self):
+        # Both listed rules fire on the line (the stale audit would
+        # reject a list padded with rules that do not).
         self.write(
             "src/core/a.h",
-            "using namespace std;  "
-            "// ses-lint: allow(using-namespace-header, naked-new)\n")
+            "using namespace std; std::mutex m;  "
+            "// ses-lint: allow(using-namespace-header, raw-mutex)\n")
         self.assert_clean()
 
     def test_allow_for_other_rule_does_not_suppress(self):
@@ -551,6 +553,294 @@ class CapabilitiesTest(LintFixture):
         self.assertIn("api::b_mu", a_row)
 
 
+class HotPathTest(LintFixture):
+    """Transitive purity walk from SES_HOT roots: allocation, locking,
+    IO, map lookups, and virtual dispatch anywhere in the reachable
+    call tree are findings with full witness chains."""
+
+    # An allocation three calls below the annotated root.
+    DEEP_ALLOC = (
+        "namespace ses::core {\n"
+        "void Sink(std::vector<int>& out, int v) {\n"
+        "  out.push_back(v);\n"
+        "}\n"
+        "void Mid(std::vector<int>& out, int v) {\n"
+        "  Sink(out, v + 1);\n"
+        "}\n"
+        "SES_HOT void Root(std::vector<int>& out) {\n"
+        "  Mid(out, 2);\n"
+        "}\n"
+        "}  // namespace ses::core\n")
+
+    def test_clean_kernel_with_ses_check(self):
+        # Pure arithmetic through an analyzable helper; SES_CHECK is the
+        # sanctioned exception (one predictable branch, aborting path).
+        self.write("src/core/k.cc",
+                   "namespace ses::core {\n"
+                   "double Leaf(double x) {\n"
+                   "  SES_CHECK(x >= 0.0);\n"
+                   "  return x * 2.0;\n"
+                   "}\n"
+                   "SES_HOT double Kernel(const std::vector<double>& v) {\n"
+                   "  return Leaf(v[0]) + 1.0;\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_clean()
+
+    def test_allocation_three_calls_deep_reports_witness_chain(self):
+        self.write("src/core/deep.cc", self.DEEP_ALLOC)
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" hot-path: ", err)
+        self.assertIn("reachable from SES_HOT core::Root", err)
+        self.assertIn("container growth 'out.push_back'", err)
+        # The full chain, root to sink, with an edge location per hop.
+        self.assertIn("core::Root -> core::Mid (at src/core/deep.cc:9)",
+                      err)
+        self.assertIn("-> core::Sink (at src/core/deep.cc:6)", err)
+
+    def test_direct_allocation_flagged(self):
+        self.write("src/core/a.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT int Hot() {\n"
+                   "  auto p = std::make_unique<int>(3);\n"
+                   "  return *p;\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_flags("hot-path")
+
+    def test_mutex_acquisition_flagged(self):
+        self.write("src/core/l.cc",
+                   "namespace ses::core {\n"
+                   "util::Mutex mu;\n"
+                   "SES_HOT void Hot() {\n"
+                   "  util::MutexLock lock(mu);\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_flags("hot-path")
+
+    def test_acquire_declared_callee_flagged(self):
+        # Bodyless, but the header annotation says it locks.
+        self.write("src/core/l.cc",
+                   "namespace ses::core {\n"
+                   "util::Mutex mu;\n"
+                   "void LockIt() SES_ACQUIRE(mu);\n"
+                   "SES_HOT void Hot() { LockIt(); }\n"
+                   "}  // namespace ses::core\n")
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" hot-path: ", err)
+        self.assertIn("SES_ACQUIRE-declared 'LockIt'", err)
+
+    def test_logging_flagged(self):
+        self.write("src/core/g.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT void Hot(int x) {\n"
+                   "  SES_LOG(INFO) << x;\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_flags("hot-path")
+
+    def test_map_method_lookup_flagged(self):
+        self.write("src/core/m.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT int Hot(const std::unordered_map<int, int>& m,\n"
+                   "                int k) {\n"
+                   "  return m.count(k);\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_flags("hot-path")
+
+    def test_map_subscript_flagged_vector_subscript_clean(self):
+        self.write("src/core/m.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT int Hot(std::map<int, int>& table, int k) {\n"
+                   "  return table[k];\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_flags("hot-path")
+        self.write("src/core/m.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT int Hot(const std::vector<int>& v, int i) {\n"
+                   "  return v[i];\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_clean()
+
+    def test_virtual_dispatch_through_non_final_flagged(self):
+        self.write("src/core/v.cc",
+                   "namespace ses::core {\n"
+                   "class Base {\n"
+                   " public:\n"
+                   "  virtual double At(int u) const = 0;\n"
+                   "};\n"
+                   "SES_HOT double Hot(const Base& b) { return b.At(3); }\n"
+                   "}  // namespace ses::core\n")
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" hot-path: ", err)
+        self.assertIn("virtual dispatch 'b.At'", err)
+        self.assertIn("non-final core::Base", err)
+
+    def test_final_receiver_is_clean(self):
+        self.write("src/core/v.cc",
+                   "namespace ses::core {\n"
+                   "class Base {\n"
+                   " public:\n"
+                   "  virtual double At(int u) const = 0;\n"
+                   "};\n"
+                   "class Impl final : public Base {\n"
+                   " public:\n"
+                   "  double At(int u) const override { return u * 0.5; }\n"
+                   "};\n"
+                   "SES_HOT double Hot(const Impl& b) { return b.At(3); }\n"
+                   "}  // namespace ses::core\n")
+        self.assert_clean()
+
+    def test_unknown_callee_flagged_until_whitelisted(self):
+        self.write("src/core/u.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT double Hot(double x) {\n"
+                   "  return Mystery(x);\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" hot-path: ", err)
+        self.assertIn("tools/hot_whitelist.txt", err)
+        # The checked-in whitelist is the escape hatch for pure leaves.
+        self.write("tools/hot_whitelist.txt", "# trusted\nMystery\n")
+        self.assert_clean()
+
+    def test_reserve_escape_in_same_body(self):
+        self.write("src/core/r.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT void Hot(std::vector<int>& out, int n) {\n"
+                   "  out.reserve(n);\n"
+                   "  for (int i = 0; i < n; ++i) out.push_back(i);\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        self.assert_clean()
+
+    def test_constructor_reserve_covers_other_members(self):
+        # The down-payment pattern: reserve in the constructor, push in
+        # the hot member.
+        self.write("src/core/r.cc",
+                   "namespace ses::core {\n"
+                   "class Buf {\n"
+                   " public:\n"
+                   "  Buf() { data_.reserve(64); }\n"
+                   "  SES_HOT void Add(int v) { data_.push_back(v); }\n"
+                   " private:\n"
+                   "  std::vector<int> data_;\n"
+                   "};\n"
+                   "}  // namespace ses::core\n")
+        self.assert_clean()
+
+    def test_resize_flagged_despite_reserve(self):
+        # resize writes elements — reserve never covers it.
+        self.write("src/core/r.cc",
+                   "namespace ses::core {\n"
+                   "SES_HOT void Hot(std::vector<int>& out, int n) {\n"
+                   "  out.reserve(n);\n"
+                   "  out.resize(n);\n"
+                   "}\n"
+                   "}  // namespace ses::core\n")
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn("container growth 'out.resize'", err)
+
+    def test_suppression_at_witness_edge_cuts_subtree_and_is_not_stale(self):
+        # Allowing the Root -> Mid edge hides everything below it, and
+        # the stale audit must see that suppression as load-bearing.
+        suppressed = self.DEEP_ALLOC.replace(
+            "  Mid(out, 2);\n",
+            "  Mid(out, 2);  // ses-lint: allow(hot-path) cold edge\n")
+        self.assertNotEqual(suppressed, self.DEEP_ALLOC)
+        self.write("src/core/deep.cc", suppressed)
+        self.assert_clean()
+
+    def test_hot_functions_inventory(self):
+        self.write("src/core/deep.cc", self.DEEP_ALLOC)
+        proc = run_lint_argv(self.root, "--hot-functions", "src")
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("core::Root", proc.stdout)
+        self.assertIn("src/core/deep.cc", proc.stdout)
+        self.assertNotIn("core::Mid", proc.stdout)  # reachable, not a root
+
+
+class StaleSuppressionTest(LintFixture):
+    """Every allow() must still suppress a finding on its line."""
+
+    def test_live_allow_is_clean(self):
+        self.write("src/core/a.cc",
+                   "int* p = new int(3);  // ses-lint: allow(naked-new)\n")
+        self.assert_clean()
+
+    def test_dead_allow_flagged(self):
+        self.write("src/core/a.cc",
+                   "int x = 3;  // ses-lint: allow(naked-new)\n")
+        self.assert_flags("stale-suppression")
+
+    def test_unknown_rule_id_flagged(self):
+        self.write("src/core/a.cc",
+                   "int x = 3;  // ses-lint: allow(no-such-rule)\n")
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" stale-suppression: ", err)
+        self.assertIn("unknown rule id", err)
+
+    def test_partially_dead_list_flags_only_the_dead_rule(self):
+        self.write("src/core/a.cc",
+                   "int* p = new int(3);"
+                   "  // ses-lint: allow(naked-new, raw-mutex)\n")
+        code, err = run_lint(self.root)
+        self.assertEqual(code, 1)
+        self.assertIn(" stale-suppression: ", err)
+        self.assertIn("allow(raw-mutex)", err)
+        self.assertNotIn("allow(naked-new)", err)
+
+    def test_allow_in_doc_comment_prose_is_ignored(self):
+        # Docs quoting the syntax on a comment-only line never
+        # suppressed anything, so they are prose, not stale.
+        self.write("src/core/a.cc",
+                   "/// Suppress with `// ses-lint: allow(naked-new)`.\n"
+                   "int x = 3;\n")
+        self.assert_clean()
+
+    def test_fix_stale_rewrites_in_place(self):
+        self.write("src/core/a.cc",
+                   "int keep = 1;\n"
+                   "int x = 3;  // ses-lint: allow(naked-new)\n"
+                   "int* p = new int(3);"
+                   "  // ses-lint: allow(naked-new, raw-mutex)\n")
+        proc = run_lint_argv(self.root, "--fix-stale", "src")
+        self.assertIn("--fix-stale: cleaned src/core/a.cc", proc.stderr)
+        with open(os.path.join(self.root, "src/core/a.cc"),
+                  encoding="utf-8") as fh:
+            fixed = fh.read().split("\n")
+        # The dead whole-comment goes; the mixed list keeps its live id.
+        self.assertEqual(fixed[1], "int x = 3;")
+        self.assertIn("// ses-lint: allow(naked-new)", fixed[2])
+        self.assertNotIn("raw-mutex", fixed[2])
+        self.assert_clean()
+
+
+class GithubFormatTest(LintFixture):
+    def test_error_annotations_on_stdout(self):
+        self.write("src/core/a.cc", "int* p = new int(3);\n")
+        proc = run_lint_argv(self.root, "--format=github", "src")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("::error file=src/core/a.cc,line=1,"
+                      "title=ses_lint naked-new::", proc.stdout)
+
+    def test_clean_tree_emits_no_commands(self):
+        self.write("src/core/a.cc", "int x = 3;\n")
+        proc = run_lint_argv(self.root, "--format=github", "src")
+        self.assertEqual(proc.returncode, 0)
+        self.assertNotIn("::error", proc.stdout)
+
+
 class DocLockstepTest(unittest.TestCase):
     """Every rule id must be documented, and the real repo must be clean
     — the two properties that keep the linter from rotting."""
@@ -597,6 +887,31 @@ class DocLockstepTest(unittest.TestCase):
             documented, table,
             "docs/ARCHITECTURE.md capability table is stale — paste the "
             "current `tools/ses_lint.py --capabilities` output into the "
+            "fenced block")
+
+    def test_hot_functions_table_matches_architecture_md(self):
+        """docs/ARCHITECTURE.md embeds `ses_lint --hot-functions` output
+        verbatim in the fenced block after the
+        `<!-- ses-lint-hot-functions -->` marker; regenerate the block
+        when annotations change."""
+        proc = subprocess.run(
+            [sys.executable, SES_LINT, "--root", REPO_ROOT,
+             "--hot-functions", "src"],
+            capture_output=True, text=True, check=True)
+        table = proc.stdout.strip()
+        doc_path = os.path.join(REPO_ROOT, "docs", "ARCHITECTURE.md")
+        with open(doc_path, encoding="utf-8") as fh:
+            doc = fh.read()
+        marker = "<!-- ses-lint-hot-functions -->"
+        self.assertIn(marker, doc)
+        after = doc.split(marker, 1)[1]
+        fence_start = after.index("```") + 3
+        fence_end = after.index("```", fence_start)
+        documented = after[fence_start:fence_end].strip()
+        self.assertEqual(
+            documented, table,
+            "docs/ARCHITECTURE.md SES_HOT inventory is stale — paste the "
+            "current `tools/ses_lint.py --hot-functions` output into the "
             "fenced block")
 
 

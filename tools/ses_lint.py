@@ -2,7 +2,8 @@
 """ses_lint — project-invariant linter and flow-aware analyzer.
 
 Usage: ses_lint.py [--root DIR] [--list-rules] [--capabilities]
-                   [--format {text,json}] [--changed-only GIT_REF]
+                   [--hot-functions] [--fix-stale]
+                   [--format {text,json,github}] [--changed-only GIT_REF]
                    [--compile-commands FILE] [PATH ...]
 
 Enforces, with nothing beyond the Python standard library, the
@@ -67,15 +68,38 @@ Lock/Unlock calls, linked into a global call graph):
                         (-Wunused-result under -Werror); this rule
                         keeps the discipline visible to review and to
                         trees the compiler has not seen yet.
+  hot-path              every SES_HOT-annotated function
+                        (util/hot_annotations.h) is the root of a
+                        transitive call-graph walk that must reach no
+                        allocation (with an amortized-capacity escape
+                        for growth calls covered by a matching
+                        reserve), no mutex acquisition or CondVar
+                        wait, no logging/IO/clock read, no map-shaped
+                        lookup, and no virtual dispatch through a
+                        non-final receiver. Calls the analysis cannot
+                        see are errors unless the simple name is
+                        listed in tools/hot_whitelist.txt. Violations
+                        carry the full witness call chain from the
+                        SES_HOT root. `--hot-functions` dumps the
+                        annotated inventory.
+  stale-suppression     every `// ses-lint: allow(rule)` comment must
+                        actually suppress (or annotate) a finding the
+                        current run produced on that line; dead
+                        suppressions rot into false documentation.
+                        `--fix-stale` deletes them in place.
 
 Suppressions: append `// ses-lint: allow(<rule>)` to the offending
 line (comma-separate several rule ids). Comments, string literals, and
 character literals are stripped before matching, so prose never trips
 a rule. For lock-order the suppression goes on the witness line of the
-edge; for discarded-status it must accompany a `(void)` cast.
+edge; for hot-path it goes on the violation line or on the witness
+call edge (cutting the whole subtree behind that call); for
+discarded-status it must accompany a `(void)` cast.
 
 --format=json prints one JSON object per finding (rule, file, line,
 message, witness) to stdout instead of the text report.
+--format=github prints GitHub Actions `::error file=...,line=...::`
+workflow commands so findings annotate PR diffs inline.
 --changed-only GIT_REF still runs the full (whole-graph) analysis but
 reports only findings whose file — or any witness file, for cycles —
 differs from GIT_REF, for fast CI/pre-commit runs.
@@ -122,6 +146,11 @@ TSA_ESCAPE_EXEMPT = {"src/util/mutex.h", "src/util/thread_annotations.h"}
 # flow analysis models their call sites, not their internals.
 FLOW_EXEMPT = {"src/util/mutex.h", "src/util/thread_annotations.h"}
 
+# The allocation-counting interposer is the one sanctioned definition
+# site for the global operator new family (`operator new[]` trips the
+# naked-new token match); everywhere else the rule stands.
+ALLOC_GUARD_EXEMPT = {"src/util/alloc_guard.cc"}
+
 CLOCK_RE = re.compile(
     r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
     r"|(?<![\w:])(?:time|clock|gettimeofday|localtime|mktime)\s*\(")
@@ -166,6 +195,13 @@ RULE_DOCS = {
     "discarded-status":
         "Status/Result<T> returns are consumed, returned, or (void)-cast "
         "with a same-line allow(discarded-status) justification",
+    "hot-path":
+        "SES_HOT call trees are allocation-, lock-, IO-, map-lookup-, and "
+        "virtual-dispatch-free (witness chains; tools/hot_whitelist.txt "
+        "for trusted leaves; --hot-functions for the inventory)",
+    "stale-suppression":
+        "every ses-lint allow() suppresses a real finding on its line "
+        "(--fix-stale deletes dead ones)",
 }
 
 
@@ -252,6 +288,23 @@ def suppressed(raw_line, rule):
     return rule in allowed
 
 
+# (rel, lineno, rule) triples whose allow() comment suppressed or
+# annotated a finding this run — the evidence base for the
+# stale-suppression audit. Every code path that honors a suppression
+# must register it here via use_suppression(); a bare suppressed()
+# check that merely *reads* an allow comment (without it changing any
+# finding) deliberately does not count.
+USED_SUPPRESSIONS = set()
+
+
+def use_suppression(rel, lineno, raw_line, rule):
+    """suppressed(), plus registration for the stale audit."""
+    if suppressed(raw_line, rule):
+        USED_SUPPRESSIONS.add((rel, lineno, rule))
+        return True
+    return False
+
+
 def finding(file, line, rule, message, witness=None):
     return {"rule": rule, "file": file, "line": line, "message": message,
             "witness": witness or []}
@@ -265,7 +318,7 @@ class Linter:
         self.problems = []
 
     def report(self, rel, lineno, rule, message, raw_lines):
-        if suppressed(raw_lines[lineno - 1], rule):
+        if use_suppression(rel, lineno, raw_lines[lineno - 1], rule):
             return
         self.problems.append(finding(rel, lineno, rule, message))
 
@@ -300,7 +353,7 @@ class Linter:
                                "thread-safety-analysis escape hatch "
                                "outside util/mutex.h (fix the "
                                "annotation instead)")
-        if in_src:
+        if in_src and rel not in ALLOC_GUARD_EXEMPT:
             self.check_naked_new(rel, code, raw)
         if is_header:
             self.check_pattern(rel, code, raw, USING_NAMESPACE_RE,
@@ -423,6 +476,30 @@ QUALIFIER_RE = re.compile(
     r"^(?:(?:mutable|static|const|constexpr|inline|extern|friend|"
     r"virtual|thread_local)\b\s*)+")
 FUNC_NAME_RE = re.compile(r"([~\w:]+)\s*\($")
+HOT_RE = re.compile(r"\bSES_HOT\b")
+VIRTUAL_RE = re.compile(r"\bvirtual\b|\boverride\b|\)\s*[\w\s]*=\s*0\s*$")
+FINAL_CLASS_RE = re.compile(r"\bfinal\b")
+# Allocation sources that are not method calls on a receiver (those —
+# push_back/emplace/resize/insert/append/reserve — arrive as ordinary
+# call events and are classified during the hot walk, where receiver
+# and reserve ordering are known).
+HOT_ALLOC_RE = re.compile(
+    r"(?<![\w.])new\b|\bmake_unique\s*<|\bmake_shared\s*<"
+    r"|\bstd::string\s*[({]|\bto_string\s*\(|\bStrCat\s*\(|\bStrFormat\s*\(")
+# Logging, stream IO, file IO, and clock reads. SES_CHECK is absent by
+# policy: a passing check is one branch, and its failure path aborts.
+HOT_IO_RE = re.compile(
+    r"\bSES_LOG\s*\(|\bSES_LOG_IS_ON\b"
+    r"|(?<![\w:])f?printf\s*\(|\bfopen\s*\(|\bfputs\s*\(|\bfwrite\s*\("
+    r"|\bfread\s*\(|\bfflush\s*\(|\bstd::c(?:out|err|log)\b"
+    r"|\bstd::(?:i|o)?f?stream\b|\bostringstream\b"
+    r"|::now\s*\(|\bgettimeofday\s*\(|(?<![\w:])time\s*\(")
+HOT_SUBSCRIPT_RE = re.compile(r"\b(\w+)\s*\[")
+HOT_GROW_METHODS = {"push_back", "emplace_back", "emplace", "insert",
+                    "append", "resize"}
+HOT_MAP_METHODS = {"at", "find", "count"}
+HOT_MAP_TYPES = {"map", "unordered_map", "multimap", "unordered_multimap",
+                 "set", "unordered_set"}
 
 
 class Scope:
@@ -444,7 +521,7 @@ def new_body():
 class Func:
     __slots__ = ("raw_name", "ns", "lexical_class", "file", "line",
                  "bodies", "requires_exprs", "acquire_exprs",
-                 "qname", "cls", "simple")
+                 "qname", "cls", "simple", "hot", "virt")
 
     def __init__(self, raw_name, ns, lexical_class, file, line):
         self.raw_name = raw_name          # possibly qualified (A::B)
@@ -458,6 +535,8 @@ class Func:
         self.qname = None
         self.cls = None
         self.simple = raw_name.split("::")[-1]
+        self.hot = False                  # SES_HOT on decl or definition
+        self.virt = False                 # virtual / override / pure
 
 
 class CppModel:
@@ -559,9 +638,11 @@ class CppModel:
         if cls is not None and "=" not in h.split(cls)[0]:
             qname = "::".join(self._ns_parts(scopes) +
                               self._class_parts(scopes) + [cls])
-            self.classes.setdefault(qname, {
+            entry = self.classes.setdefault(qname, {
                 "simple": cls, "members": {}, "member_types": {},
-                "file": self._rel})
+                "file": self._rel, "final": False})
+            if FINAL_CLASS_RE.search(h):
+                entry["final"] = True
             scopes.append(Scope("class", name=cls))
             return
         if self._enclosing_func_scope(scopes) is not None:
@@ -578,6 +659,8 @@ class CppModel:
                       self._rel, self._lineno(head_start))
         if record.lexical_class is None and not self._class_parts(scopes):
             record.lexical_class = None
+        record.hot = HOT_RE.search(h) is not None
+        record.virt = VIRTUAL_RE.search(h) is not None
         body = new_body()
         self._parse_annotations(h, record)
         self._parse_params(h, body)
@@ -689,6 +772,10 @@ class CppModel:
                           self._current_class_qname(scopes)
                           if scope.kind == "class" else None,
                           self._rel, lineno)
+            # QUALIFIER_RE strips leading `virtual`, so hot/virtual
+            # detection reads the unstripped declaration.
+            record.hot = HOT_RE.search(s) is not None
+            record.virt = VIRTUAL_RE.search(s) is not None
             self._parse_annotations(stripped, record)
             self.raw_funcs.append(record)
             return
@@ -783,6 +870,21 @@ class CppModel:
             line = self._lineno(chunk_start + m.start())
             events.append((m.start(), ("call", obj, name, self._rel, line)))
 
+        # Hot-path raw material; consulted only for SES_HOT-reachable
+        # bodies, so the extra events are inert everywhere else.
+        for m in HOT_ALLOC_RE.finditer(chunk):
+            line = self._lineno(chunk_start + m.start())
+            events.append((m.start(), ("hotalloc", m.group(0).strip(),
+                                       self._rel, line)))
+        for m in HOT_IO_RE.finditer(chunk):
+            line = self._lineno(chunk_start + m.start())
+            events.append((m.start(), ("hotio", m.group(0).strip(),
+                                       self._rel, line)))
+        for m in HOT_SUBSCRIPT_RE.finditer(chunk):
+            line = self._lineno(chunk_start + m.start())
+            events.append((m.start(), ("hotsub", m.group(1),
+                                       self._rel, line)))
+
         events.sort(key=lambda e: e[0])
         body["events"].extend(ev for _, ev in events)
 
@@ -806,13 +908,16 @@ class CppModel:
                 "qname": qname, "simple": rec.simple.lstrip("~"),
                 "cls": None, "file": rec.file, "line": rec.line,
                 "bodies": [], "requires_exprs": [], "acquire_exprs": [],
-                "ns": rec.ns})
+                "ns": rec.ns, "hot": False, "virt": False, "files": set()})
             cls = self._resolve_func_class(rec)
             if cls is not None:
                 merged["cls"] = cls
             merged["bodies"].extend(rec.bodies)
             merged["requires_exprs"].extend(rec.requires_exprs)
             merged["acquire_exprs"].extend(rec.acquire_exprs)
+            merged["hot"] = merged["hot"] or rec.hot
+            merged["virt"] = merged["virt"] or rec.virt
+            merged["files"].add(rec.file)
         self.funcs_by_simple = {}
         for qname, f in self.funcs.items():
             self.funcs_by_simple.setdefault(f["simple"], []).append(qname)
@@ -896,6 +1001,13 @@ class CppModel:
                     if narrowed:
                         return narrowed
                     return []
+        elif func["cls"]:
+            # Unqualified call inside a member function: C++ name
+            # lookup finds the member first, so a same-class candidate
+            # beats the cross-class union.
+            own = [q for q in cands if self.funcs[q]["cls"] == func["cls"]]
+            if own:
+                return own
         return cands
 
     # -- analysis -----------------------------------------------------------
@@ -949,7 +1061,7 @@ class CppModel:
         raw = self.raw_lines.get(rel)
         if raw is None or not 1 <= line <= len(raw):
             return False
-        return suppressed(raw[line - 1], rule)
+        return use_suppression(rel, line, raw[line - 1], rule)
 
     def _add_edge(self, held_from, to, rel, line, func, via):
         if self._allowed(rel, line, "lock-order"):
@@ -1055,6 +1167,200 @@ class CppModel:
                     seen.add(nxt)
                     stack.append((nxt, path + [nxt]))
         return None
+
+    # -- hot-path purity ----------------------------------------------------
+
+    def _object_type(self, obj, func, body):
+        """Simple type name of a dotted receiver's first component, via
+        the same local/param/member maps resolve_call uses."""
+        obj_simple = obj.replace("->", ".").replace("this.", "").split(".")[0]
+        cls = self.classes.get(func["cls"]) if func["cls"] else None
+        return (body["local_types"].get(obj_simple) or
+                body["param_types"].get(obj_simple) or
+                (cls["member_types"].get(obj_simple) if cls else None))
+
+    @staticmethod
+    def _recv_key(obj):
+        return re.sub(r"^this\.", "", obj.replace("->", "."))
+
+    def _class_reserved(self):
+        """receiver-name -> reserving class qnames: the constructor
+        down-payment side of the amortized-capacity escape. A reserve
+        anywhere in class C covers growth calls on that member in every
+        method of C (the alloc-guard test enforces that the reserved
+        capacity actually bounds steady-state growth)."""
+        reserved = {}
+        for f in self.funcs.values():
+            if not f["cls"]:
+                continue
+            for body in f["bodies"]:
+                for ev in body["events"]:
+                    if ev[0] == "call" and ev[2] == "reserve":
+                        reserved.setdefault(f["cls"], set()).add(
+                            self._recv_key(ev[1]))
+        return reserved
+
+    def hot_findings(self, whitelist):
+        """Transitive purity walk from every SES_HOT root. Reports each
+        violating site once, with the witness call chain from the first
+        (alphabetically) root that reaches it."""
+        roots = sorted(q for q, f in self.funcs.items() if f["hot"])
+        findings = []
+        if not roots:
+            return findings
+        class_reserved = self._class_reserved()
+        reported_lines = set()   # (rel, line): one finding per site
+        for root in roots:
+            seen = {root}
+            queue = [(root, [])]
+            while queue:
+                qname, chain = queue.pop(0)
+                f = self.funcs[qname]
+                for body in f["bodies"]:
+                    self._hot_walk_body(root, f, body, chain, class_reserved,
+                                        whitelist, seen, queue,
+                                        reported_lines, findings)
+        return findings
+
+    def _hot_violation(self, findings, reported_lines, root, chain,
+                       rel, line, detail):
+        if self._allowed(rel, line, "hot-path"):
+            return
+        if (rel, line) in reported_lines:
+            return
+        reported_lines.add((rel, line))
+        witness = [f"SES_HOT root {root}"] + chain
+        via = (f" [witness: {' -> '.join([root] + chain)}]" if chain else "")
+        findings.append(finding(
+            rel, line, "hot-path",
+            f"reachable from SES_HOT {root}: {detail}{via}", witness))
+
+    def _hot_walk_body(self, root, f, body, chain, class_reserved,
+                       whitelist, seen, queue, reported_lines, findings):
+        flag = self._hot_violation
+        body_reserved = set()
+        cls_reserved = class_reserved.get(f["cls"], set()) if f["cls"] else set()
+        for ev in body["events"]:
+            kind = ev[0]
+            if kind == "acquire":
+                flag(findings, reported_lines, root, chain, ev[3], ev[4],
+                     f"mutex acquisition of '{ev[1]}' in {f['qname']} — "
+                     "hot kernels must run lock-free; hoist the lock to "
+                     "the cold caller")
+            elif kind == "wait":
+                flag(findings, reported_lines, root, chain, ev[2], ev[3],
+                     f"CondVar wait on '{ev[1]}' in {f['qname']} — "
+                     "blocking on the hot path")
+            elif kind == "hotalloc":
+                flag(findings, reported_lines, root, chain, ev[2], ev[3],
+                     f"allocation '{ev[1]}' in {f['qname']} — preallocate "
+                     "in the owner or move this to a cold path")
+            elif kind == "hotio":
+                flag(findings, reported_lines, root, chain, ev[2], ev[3],
+                     f"logging/IO/clock read '{ev[1]}' in {f['qname']} — "
+                     "hot kernels must not log, stream, or read clocks "
+                     "(SES_CHECK is the sanctioned exception)")
+            elif kind == "hotsub":
+                recv_type = self._object_type(ev[1], f, body)
+                if recv_type in HOT_MAP_TYPES:
+                    flag(findings, reported_lines, root, chain, ev[2], ev[3],
+                         f"map-shaped lookup '{ev[1]}[...]' in "
+                         f"{f['qname']} — hoist into dense, "
+                         "index-addressed scratch")
+            elif kind == "call":
+                obj, name, rel, line = ev[1], ev[2], ev[3], ev[4]
+                if self._allowed(rel, line, "hot-path"):
+                    continue  # witness-edge suppression cuts the subtree
+                if name == "reserve":
+                    body_reserved.add(self._recv_key(obj))
+                    continue  # the amortized down-payment itself
+                if name in HOT_GROW_METHODS:
+                    recv = self._recv_key(obj)
+                    if (name != "resize" and
+                            (recv in body_reserved or recv in cls_reserved)):
+                        continue  # amortized-capacity escape
+                    flag(findings, reported_lines, root, chain, rel, line,
+                         f"container growth '{obj}.{name}' in {f['qname']} "
+                         "without a matching reserve (amortized-capacity "
+                         "escape: reserve in this body or in another "
+                         "member of the same class)")
+                    continue
+                if name in HOT_MAP_METHODS:
+                    recv_type = self._object_type(obj, f, body) if obj else None
+                    if recv_type in HOT_MAP_TYPES:
+                        flag(findings, reported_lines, root, chain, rel, line,
+                             f"map-shaped lookup '{obj}.{name}' in "
+                             f"{f['qname']} — hoist into dense, "
+                             "index-addressed scratch")
+                        continue
+                if name in whitelist:
+                    continue  # trusted pure leaf (tools/hot_whitelist.txt)
+                cands = self.resolve_call(obj, name, f, body)
+                if not cands:
+                    flag(findings, reported_lines, root, chain, rel, line,
+                         f"call to '{name}' in {f['qname']} that the "
+                         "analysis cannot see — add it to "
+                         "tools/hot_whitelist.txt if it is a pure leaf, "
+                         "or suppress this edge with a justification")
+                    continue
+                virt = [q for q in cands
+                        if self.funcs[q]["virt"] and
+                        not self._final_class(self.funcs[q]["cls"])]
+                if virt:
+                    flag(findings, reported_lines, root, chain, rel, line,
+                         f"virtual dispatch '{obj + '.' if obj else ''}"
+                         f"{name}' in {f['qname']} through non-final "
+                         f"{self.funcs[virt[0]]['cls'] or '?'} — devirtualize "
+                         "(final receiver) or suppress with a justification")
+                    continue
+                walkable = [q for q in cands if self.funcs[q]["bodies"]]
+                declared_acquire = [q for q in cands
+                                    if self.funcs[q]["acquire_exprs"]]
+                if declared_acquire and not walkable:
+                    flag(findings, reported_lines, root, chain, rel, line,
+                         f"call to SES_ACQUIRE-declared '{name}' in "
+                         f"{f['qname']} — hot kernels must run lock-free")
+                    continue
+                if not walkable:
+                    flag(findings, reported_lines, root, chain, rel, line,
+                         f"call to '{name}' in {f['qname']} with no "
+                         "analyzable body — add it to "
+                         "tools/hot_whitelist.txt if it is a pure leaf, "
+                         "or suppress this edge with a justification")
+                    continue
+                for cand in walkable:
+                    if cand not in seen:
+                        seen.add(cand)
+                        queue.append(
+                            (cand, chain + [f"{cand} (at {rel}:{line})"]))
+
+    def _final_class(self, cls_qname):
+        if not cls_qname:
+            return False
+        entry = self.classes.get(cls_qname)
+        return bool(entry and entry.get("final"))
+
+    def hot_table(self):
+        """The SES_HOT inventory — every annotated root the hot-path
+        walk proves pure, as docs/ARCHITECTURE.md embeds it verbatim
+        (pinned by the docs-lockstep test)."""
+        rows = [("hot function", "declared-in")]
+        for qname in sorted(self.funcs):
+            f = self.funcs[qname]
+            if not f["hot"]:
+                continue
+            declared = min(f["files"],
+                           key=lambda p: (not p.endswith(".h"), p))
+            rows.append((qname, declared))
+        widths = [max(len(r[i]) for r in rows) for i in range(2)]
+        lines = []
+        for idx, row in enumerate(rows):
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)).rstrip())
+            if idx == 0:
+                lines.append("  ".join("-" * widths[i]
+                                       for i in range(2)).rstrip())
+        return "\n".join(lines)
 
     # -- capability inventory ----------------------------------------------
 
@@ -1248,13 +1554,15 @@ def check_discarded_status(rel, code_lines, raw_lines, names):
             continue
         lineno = bisect.bisect_right(line_starts, m.start())
         raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
-        allowed = suppressed(raw_line, "discarded-status")
         pc, _ = prev_nonws(m.start())
         nc = next_nonws(close_pos + 1)
         void_cast = VOID_CAST_RE.search(text[:m.start()]) is not None
 
         if void_cast:
-            if not allowed:
+            # use_suppression (not bare suppressed): the allow comment
+            # is load-bearing here, so the stale audit must see it.
+            if not use_suppression(rel, lineno, raw_line,
+                                   "discarded-status"):
                 findings.append(finding(
                     rel, lineno, "discarded-status",
                     f"(void)-discard of Status-returning '{name}' needs "
@@ -1276,7 +1584,10 @@ def check_discarded_status(rel, code_lines, raw_lines, names):
                            chain_ends_in_semicolon(close_pos))
         if not discard:
             continue
-        if allowed:
+        if use_suppression(rel, lineno, raw_line, "discarded-status"):
+            # The allow comment did engage with a real discard (so it
+            # is not stale) — but without the (void) cast it downgrades
+            # nothing; the discard must still be made explicit.
             findings.append(finding(
                 rel, lineno, "discarded-status",
                 f"suppressed discard of Status-returning '{name}' must "
@@ -1350,6 +1661,97 @@ def changed_files(root, ref):
     return changed
 
 
+def load_hot_whitelist(root):
+    """Simple callee names the hot-path walk trusts as pure leaves —
+    checked in at tools/hot_whitelist.txt, one name per line, `#`
+    comments. Missing file means an empty whitelist (fixture trees)."""
+    names = set()
+    try:
+        with open(os.path.join(root, "tools", "hot_whitelist.txt"),
+                  encoding="utf-8") as fh:
+            for line in fh:
+                line = line.split("#", 1)[0].strip()
+                if line:
+                    names.add(line)
+    except OSError:
+        pass
+    return names
+
+
+STALE_STRIP_RE = re.compile(r"\s*//\s*ses-lint:\s*allow\([^)]*\).*$")
+
+
+def stale_suppressions(raws, contents):
+    """Every allow() whose (file, line, rule) never landed in
+    USED_SUPPRESSIONS this run. Only lines that carry code are audited:
+    an allow() on a pure comment line is prose (docs quoting the
+    syntax), not a suppression — rules match stripped code, so it never
+    suppressed anything in the first place. Returns (findings, fixes)
+    where fixes maps rel -> {lineno: kept_rule_list} for --fix-stale."""
+    findings = []
+    fixes = {}
+    for rel in sorted(raws):
+        code = contents.get(rel, [])
+        for lineno, line in enumerate(raws[rel], start=1):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            if lineno <= len(code) and not code[lineno - 1].strip():
+                continue
+            rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
+            stale = [r for r in rules
+                     if (rel, lineno, r) not in USED_SUPPRESSIONS]
+            if not stale:
+                continue
+            for r in stale:
+                unknown = "" if r in RULE_DOCS else " (unknown rule id)"
+                findings.append(finding(
+                    rel, lineno, "stale-suppression",
+                    f"allow({r}) suppresses no finding on this "
+                    f"line{unknown} — the code it excused is gone; "
+                    "delete it (or run --fix-stale)"))
+            fixes.setdefault(rel, {})[lineno] = \
+                [r for r in rules if r not in stale]
+    return findings, fixes
+
+
+def apply_stale_fixes(root, fixes):
+    """Rewrites files in place, dropping dead allow() comments (or just
+    the dead rule ids when live ones share the list)."""
+    removed = 0
+    for rel, lines in sorted(fixes.items()):
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                content = fh.read().split("\n")
+        except OSError as err:
+            print(f"ses_lint: --fix-stale: cannot read {rel}: {err}",
+                  file=sys.stderr)
+            continue
+        for lineno, kept in lines.items():
+            if not 1 <= lineno <= len(content):
+                continue
+            line = content[lineno - 1]
+            if kept:
+                line = ALLOW_RE.sub(
+                    "// ses-lint: allow(" + ", ".join(kept) + ")",
+                    line, count=1)
+            else:
+                line = STALE_STRIP_RE.sub("", line)
+            content[lineno - 1] = line
+            removed += 1
+        # Dropping a whole-line suppression comment leaves an empty
+        # line behind only if the comment stood alone; remove it.
+        content = [ln for idx, ln in enumerate(content, start=1)
+                   if not (idx in lines and not lines[idx]
+                           and ln.strip() == "")]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(content))
+        print(f"ses_lint: --fix-stale: cleaned {rel}", file=sys.stderr)
+    print(f"ses_lint: --fix-stale: removed {removed} stale "
+          "suppression(s)", file=sys.stderr)
+
+
 def render_text(problems, checked):
     for p in sorted(problems, key=lambda p: (p["file"], p["line"],
                                              p["rule"], p["message"])):
@@ -1365,6 +1767,22 @@ def render_json(problems):
         print(json.dumps(p, sort_keys=True))
 
 
+def render_github(problems, checked):
+    """GitHub Actions workflow commands: one ::error per finding, so
+    the lint job annotates the offending lines inline on the PR diff
+    (percent-encoding per the workflow-command spec)."""
+    def esc(s):
+        return (s.replace("%", "%25").replace("\r", "%0D")
+                .replace("\n", "%0A"))
+
+    for p in sorted(problems, key=lambda p: (p["file"], p["line"],
+                                             p["rule"], p["message"])):
+        print(f"::error file={esc(p['file'])},line={p['line']},"
+              f"title=ses_lint {esc(p['rule'])}::{esc(p['message'])}")
+    print(f"ses_lint: checked {checked} file(s): "
+          f"{len(problems)} problem(s)")
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="ses project-invariant linter and flow analyzer")
@@ -1375,7 +1793,12 @@ def main(argv):
     parser.add_argument("--capabilities", action="store_true",
                         help="dump the derived mutex/acquisition-order "
                              "table and exit")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--hot-functions", action="store_true",
+                        help="dump the SES_HOT function inventory and exit")
+    parser.add_argument("--fix-stale", action="store_true",
+                        help="delete stale ses-lint allow() comments in "
+                             "place instead of reporting them")
+    parser.add_argument("--format", choices=("text", "json", "github"),
                         default="text",
                         help="finding output format (default: text)")
     parser.add_argument("--changed-only", metavar="GIT_REF", default=None,
@@ -1405,7 +1828,11 @@ def main(argv):
     files = collect(paths)
     if args.compile_commands:
         files = compile_commands_filter(files, args.compile_commands)
+    # Deterministic scan order: merged-function metadata (e.g. which
+    # file "declares" a hot function) must not depend on readdir order.
+    files.sort()
 
+    USED_SUPPRESSIONS.clear()
     linter = Linter(root)
     model = CppModel()
     contents = {}   # rel -> code_lines (for the status-name database)
@@ -1432,6 +1859,9 @@ def main(argv):
     if args.capabilities:
         print(model.capabilities_table())
         return 0
+    if args.hot_functions:
+        print(model.hot_table())
+        return 0
 
     names = status_function_names(contents)
     for rel in sorted(contents):
@@ -1439,6 +1869,16 @@ def main(argv):
             continue
         problems.extend(check_discarded_status(rel, contents[rel],
                                                raws[rel], names))
+
+    problems.extend(model.hot_findings(load_hot_whitelist(root)))
+
+    # Last, after every rule has had its chance to register the
+    # suppressions it honored: the stale audit.
+    stale, fixes = stale_suppressions(raws, contents)
+    if args.fix_stale:
+        apply_stale_fixes(root, fixes)
+    else:
+        problems.extend(stale)
 
     if args.changed_only is not None:
         changed = changed_files(root, args.changed_only)
@@ -1452,6 +1892,8 @@ def main(argv):
 
     if args.format == "json":
         render_json(problems)
+    elif args.format == "github":
+        render_github(problems, len(files))
     else:
         render_text(problems, len(files))
     return 1 if problems else 0
