@@ -359,6 +359,15 @@ class Scheduler {
   /// Every name it registers is documented in docs/METRICS.md.
   const util::MetricRegistry& metric_registry() const { return registry_; }
 
+  /// The registry's activity since \p since (an earlier
+  /// metric_registry().Snapshot() of *this* scheduler): counters and
+  /// histogram buckets are subtracted, gauges keep their current value.
+  /// This is how the bench harness isolates one trace run from
+  /// process-lifetime totals — see util::DiffSnapshots for the exact
+  /// semantics.
+  util::MetricsSnapshot SnapshotDelta(
+      const util::MetricsSnapshot& since) const;
+
   /// Drops every queued request whose deadline has already expired
   /// (answering each with kDeadlineExceeded) and returns how many were
   /// dropped. The optional background sweeper calls this every
@@ -406,7 +415,13 @@ class Scheduler {
     util::Counter* session_misses = nullptr;
     util::Gauge* loaded_instances = nullptr;
     std::array<util::Gauge*, kNumPriorityLanes> queue_depth = {};
+    /// Queue wait of requests that went on to run. Kept separate from
+    /// expired_queue_wait so latency percentiles are not polluted by
+    /// requests that merely sat past their deadline.
     std::array<util::Histogram*, kNumPriorityLanes> queue_wait = {};
+    /// Queue wait of requests dropped at dequeue because their deadline
+    /// had already expired.
+    std::array<util::Histogram*, kNumPriorityLanes> expired_queue_wait = {};
     /// Solve-latency histogram per registered solver name. The solver
     /// catalog is fixed at construction, so lookups from const paths
     /// need no registry mutex.

@@ -1,0 +1,126 @@
+#ifndef SES_EXP_LOAD_GENERATOR_H_
+#define SES_EXP_LOAD_GENERATOR_H_
+
+/// \file
+/// Trace replay against a live api::Scheduler.
+///
+/// LoadGenerator takes a validated TraceSpec (trace.h), materializes its
+/// synthetic dataset and SES instance, and submits the trace's requests
+/// open-loop: each request is dispatched at its pre-drawn arrival
+/// timestamp regardless of how the scheduler is keeping up, so queue
+/// waits reflect the offered load rather than caller back-pressure.
+///
+/// Measurement comes from the scheduler's own MetricRegistry as a
+/// snapshot *delta* (Scheduler::SnapshotDelta): the report describes
+/// exactly this run, never process-lifetime totals — the bug class
+/// run_benchmarks.py exists to keep out of BENCH_*.json. Per-lane queue
+/// waits are read from the post-split healthy histogram
+/// (`scheduler.queue_wait_seconds.<lane>`), so expired-in-queue
+/// requests never pollute the reported percentiles.
+///
+/// Everything except wall-clock-derived numbers is deterministic in the
+/// trace seed; RenderBenchReportJson(report, /*include_timing=*/false)
+/// drops the timing fields, giving a byte-stable report for fixed-seed
+/// smoke traces (the same idiom as the sweep CSVs' --csv-timing=false).
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "api/scheduler.h"
+#include "exp/trace.h"
+#include "util/status.h"
+
+namespace ses::exp {
+
+/// Per-priority-lane slice of a bench run.
+struct BenchLaneReport {
+  /// Requests the trace submitted to this lane (from the plan;
+  /// deterministic).
+  int64_t submitted = 0;
+  /// Healthy dequeues: requests that left the queue for a worker
+  /// (delta count of scheduler.queue_wait_seconds.<lane>).
+  uint64_t started = 0;
+  /// Requests dropped at dequeue with an already-expired deadline
+  /// (delta count of scheduler.expired_queue_wait_seconds.<lane>).
+  uint64_t expired_in_queue = 0;
+  /// Healthy queue-wait stats in seconds, estimated from the delta
+  /// histogram; NaN when the lane saw no healthy dequeue.
+  double wait_p50_seconds = 0.0;
+  double wait_p99_seconds = 0.0;
+  double wait_mean_seconds = 0.0;
+};
+
+/// Per-solver slice of a bench run.
+struct BenchSolverReport {
+  /// Requests the trace planned for this solver (deterministic).
+  int64_t submitted = 0;
+  /// Solver runs that actually started (delta count of
+  /// scheduler.solve_seconds.<solver>).
+  uint64_t runs = 0;
+  /// Sum of utilities over *completed* responses (deterministic: a
+  /// completed solve is bit-identical for a fixed seed).
+  double utility = 0.0;
+  /// Solve-latency stats in seconds from the delta histogram; NaN when
+  /// the solver never ran.
+  double solve_p50_seconds = 0.0;
+  double solve_p99_seconds = 0.0;
+  double solve_mean_seconds = 0.0;
+};
+
+/// Machine-readable outcome of one trace replay.
+struct BenchReport {
+  std::string trace_name;
+  uint64_t seed = 0;
+  int64_t submitted = 0;
+
+  /// Terminal-status tallies over all submitted requests.
+  uint64_t completed = 0;
+  uint64_t refused = 0;
+  uint64_t deadline_expired = 0;
+  /// Of the deadline_expired total, how many died in the queue without
+  /// ever reaching a solver (counter delta
+  /// scheduler.deadline_expired_in_queue).
+  uint64_t expired_in_queue = 0;
+  uint64_t failed = 0;
+
+  /// Sum of utilities over completed responses.
+  double total_utility = 0.0;
+
+  std::array<BenchLaneReport, api::kNumPriorityLanes> lanes;
+  std::map<std::string, BenchSolverReport> solvers;
+
+  /// Wall-clock timing (first submission to last response).
+  double duration_seconds = 0.0;
+  double throughput_rps = 0.0;
+};
+
+/// Replays one TraceSpec end-to-end. Owns nothing between runs: each
+/// Run() builds the dataset, instance, and a fresh scheduler, replays
+/// the trace, and reports from the metric snapshot delta.
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(TraceSpec spec);
+
+  /// Builds everything and replays the trace. Errors are construction
+  /// failures (instance build); replay itself always produces a report.
+  [[nodiscard]] util::Result<BenchReport> Run();
+
+  const TraceSpec& spec() const { return spec_; }
+
+ private:
+  TraceSpec spec_;
+};
+
+/// Renders the report as a JSON document (two-space indent, fixed key
+/// order, NaN rendered as null). \p include_timing=false omits every
+/// wall-clock-derived field — duration, throughput, and the wait/solve
+/// latency stats — leaving only fields that are byte-stable for a fixed
+/// seed (given a drop-free trace: no deadlines, unbounded queue).
+std::string RenderBenchReportJson(const BenchReport& report,
+                                  bool include_timing);
+
+}  // namespace ses::exp
+
+#endif  // SES_EXP_LOAD_GENERATOR_H_

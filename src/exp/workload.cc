@@ -91,13 +91,19 @@ util::Result<core::SesInstance> WorkloadFactory::Build(
     builder.AddEvent(location, xi, std::move(row));
   }
 
-  // Competing events: per interval, round(Uniform(mean-spread,
-  // mean+spread)) third-party events drawn from the catalog.
+  // Competing events: per interval, a uniform *integer* count on the
+  // closed range [round(mean-spread), round(mean+spread)]. Drawing a
+  // real and rounding it would give the two endpoint counts half the
+  // probability of every interior count (their rounding intervals are
+  // half-width), biasing the per-interval mean away from the paper's
+  // configured value.
+  const int64_t competing_lo = std::max<int64_t>(
+      0, std::llround(config.competing_mean - config.competing_spread));
+  const int64_t competing_hi = std::max<int64_t>(
+      competing_lo,
+      std::llround(config.competing_mean + config.competing_spread));
   for (int64_t t = 0; t < num_intervals; ++t) {
-    const double raw = rng.UniformDouble(
-        config.competing_mean - config.competing_spread,
-        config.competing_mean + config.competing_spread);
-    const int64_t count = std::max<int64_t>(0, std::llround(raw));
+    const int64_t count = rng.UniformInt(competing_lo, competing_hi);
     for (int64_t c = 0; c < count; ++c) {
       const uint32_t id =
           static_cast<uint32_t>(rng.NextBounded(catalog_size));

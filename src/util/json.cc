@@ -1,0 +1,290 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ses::util {
+
+namespace {
+
+/// Cursor over the document with line/column tracking for diagnostics.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    JsonValue value;
+    SES_RETURN_IF_ERROR(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  /// Nesting bound: a descriptor is a few levels deep; anything past
+  /// this is malformed input, not a real document, and must not be able
+  /// to overflow the parser's stack.
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    size_t line = 1;
+    size_t column = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return Status::ParseError(StrFormat("JSON parse error at line %zu "
+                                        "column %zu: %s",
+                                        line, column, message.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        SES_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::MakeString(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        return ParseLiteral("true", JsonValue::MakeBool(true), out);
+      case 'f':
+        return ParseLiteral("false", JsonValue::MakeBool(false), out);
+      case 'n':
+        return ParseLiteral("null", JsonValue::MakeNull(), out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* literal, JsonValue value,
+                      JsonValue* out) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (!Consume(*p)) {
+        return Error(std::string("invalid literal; expected '") + literal +
+                     "'");
+      }
+    }
+    *out = std::move(value);
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+      pos_ = start;
+      return Error("malformed number '" + token + "'");
+    }
+    *out = JsonValue::MakeNumber(value);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string result;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        *out = std::move(result);
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"': result += '"'; break;
+          case '\\': result += '\\'; break;
+          case '/': result += '/'; break;
+          case 'b': result += '\b'; break;
+          case 'f': result += '\f'; break;
+          case 'n': result += '\n'; break;
+          case 'r': result += '\r'; break;
+          case 't': result += '\t'; break;
+          case 'u': {
+            // Basic-multilingual-plane escapes only; descriptors are
+            // ASCII identifiers in practice.
+            if (pos_ + 4 > text_.size()) {
+              return Error("truncated \\u escape");
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("invalid \\u escape digit");
+              }
+            }
+            // UTF-8 encode.
+            if (code < 0x80) {
+              result += static_cast<char>(code);
+            } else if (code < 0x800) {
+              result += static_cast<char>(0xC0 | (code >> 6));
+              result += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              result += static_cast<char>(0xE0 | (code >> 12));
+              result += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              result += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error(std::string("invalid escape '\\") + escape + "'");
+        }
+        continue;
+      }
+      result += c;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    if (!Consume('[')) return Error("expected '['");
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray(std::move(items));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue item;
+      SES_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+    *out = JsonValue::MakeArray(std::move(items));
+    return Status::Ok();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    if (!Consume('{')) return Error("expected '{'");
+    std::map<std::string, JsonValue> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject(std::move(members));
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      SES_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      SkipWhitespace();
+      JsonValue value;
+      SES_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      if (!members.emplace(std::move(key), std::move(value)).second) {
+        return Error("duplicate object key");
+      }
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+}  // namespace ses::util

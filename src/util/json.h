@@ -1,0 +1,81 @@
+#ifndef SES_UTIL_JSON_H_
+#define SES_UTIL_JSON_H_
+
+/// \file
+/// Minimal JSON value model + recursive-descent parser, standard
+/// library only — the substrate for declarative descriptors such as the
+/// bench trace files under bench/traces/ (exp::TraceSpec).
+///
+/// Scope is deliberately small: parse a complete UTF-8 document into an
+/// immutable JsonValue tree and let callers walk it with typed
+/// accessors. Objects keep their members in a std::map, so iteration
+/// (and anything derived from it, e.g. "unknown key" diagnostics) is
+/// deterministic regardless of document order. Numbers are doubles —
+/// the descriptors this backs never need 64-bit-exact integers beyond
+/// 2^53. Writing JSON stays with the callers (report emission is a
+/// handful of StrFormat lines, not worth a serializer API).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ses::util {
+
+/// One node of a parsed JSON document.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed payload accessors. Calling the wrong one for the node's kind
+  /// returns the type's empty/zero value — callers are expected to
+  /// check kind() (or use the Find/Get helpers) first.
+  bool AsBool() const { return is_bool() && bool_; }
+  double AsNumber() const { return is_number() ? number_ : 0.0; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const {
+    return object_;
+  }
+
+  /// Object member lookup; null when this is not an object or the key
+  /// is absent. The pointer is valid for this value's lifetime.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). Errors are kParseError and name the
+  /// line/column of the offending byte.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  /// Named constructors (used by the parser; handy for tests).
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double n);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+}  // namespace ses::util
+
+#endif  // SES_UTIL_JSON_H_

@@ -45,7 +45,10 @@ void RunningStat::Merge(const RunningStat& other) {
 }
 
 double PercentileSorted(const std::vector<double>& sorted, double q) {
-  SES_CHECK(!sorted.empty());
+  // An empty sample has no percentiles; NaN (not an abort) lets callers
+  // summarize windows where nothing was observed — e.g. a bench trace
+  // lane that saw zero requests — and render the gap explicitly.
+  if (sorted.empty()) return std::nan("");
   SES_CHECK_GE(q, 0.0);
   SES_CHECK_LE(q, 1.0);
   if (sorted.size() == 1) return sorted[0];
@@ -58,7 +61,13 @@ double PercentileSorted(const std::vector<double>& sorted, double q) {
 
 Summary Summarize(const std::vector<double>& values) {
   Summary s;
-  if (values.empty()) return s;
+  if (values.empty()) {
+    // count = 0 is the machine-readable emptiness marker; the order
+    // statistics are NaN so an empty window can never be mistaken for
+    // an all-zero latency sample.
+    s.min = s.max = s.p50 = s.p90 = s.p99 = std::nan("");
+    return s;
+  }
   RunningStat rs;
   for (double v : values) rs.Add(v);
   std::vector<double> sorted = values;

@@ -51,6 +51,10 @@ class RunningStat {
 };
 
 /// Batch summary of a sample: moments plus selected percentiles.
+///
+/// For an empty sample, count is 0, mean/stddev are 0, and the order
+/// statistics (min/max/p50/p90/p99) are NaN — never a process abort, so
+/// summarizing a metrics window in which nothing was observed is safe.
 struct Summary {
   size_t count = 0;
   double mean = 0.0;
@@ -68,7 +72,8 @@ struct Summary {
 /// Computes a Summary over \p values (copied; input order preserved).
 Summary Summarize(const std::vector<double>& values);
 
-/// Linear-interpolation percentile over a *sorted* sample. \p q in [0,1].
+/// Linear-interpolation percentile over a *sorted* sample. \p q in
+/// [0,1]. Returns NaN for an empty sample.
 double PercentileSorted(const std::vector<double>& sorted, double q);
 
 }  // namespace ses::util

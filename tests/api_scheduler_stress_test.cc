@@ -248,6 +248,34 @@ TEST(SchedulerDeadlineQueueTest, ExpiredAtDequeueNeverReachesSolver) {
   EXPECT_EQ(metrics.completed, 1u);        // High
   EXPECT_EQ(metrics.cancelled, 1u);        // the blocker
   EXPECT_EQ(metrics.refused, 0u);
+
+  // The histogram split: expired Batch waits land in
+  // expired_queue_wait_seconds, never in the healthy queue_wait
+  // histogram — the batch-lane p50/p99 stay untainted by the dead wall.
+  const util::MetricsSnapshot snapshot =
+      scheduler.metric_registry().Snapshot();
+  const util::HistogramSample* batch_wait =
+      snapshot.FindHistogram("scheduler.queue_wait_seconds.batch");
+  const util::HistogramSample* batch_expired = snapshot.FindHistogram(
+      "scheduler.expired_queue_wait_seconds.batch");
+  ASSERT_NE(batch_wait, nullptr);
+  ASSERT_NE(batch_expired, nullptr);
+  EXPECT_EQ(batch_wait->count, 0u);
+  EXPECT_EQ(batch_expired->count, kDead);
+  // Requests that ran still observe into the healthy histogram: the
+  // High request and the Normal blocker, one each.
+  const util::HistogramSample* high_wait =
+      snapshot.FindHistogram("scheduler.queue_wait_seconds.high");
+  const util::HistogramSample* normal_wait =
+      snapshot.FindHistogram("scheduler.queue_wait_seconds.normal");
+  ASSERT_NE(high_wait, nullptr);
+  ASSERT_NE(normal_wait, nullptr);
+  EXPECT_EQ(high_wait->count, 1u);
+  EXPECT_EQ(normal_wait->count, 1u);
+  EXPECT_EQ(snapshot
+                .FindHistogram("scheduler.expired_queue_wait_seconds.high")
+                ->count,
+            0u);
 }
 
 // SweepExpiredQueued drops dead entries while they are still queued —

@@ -1,5 +1,7 @@
 #include "exp/workload.h"
 
+#include <map>
+
 #include <gtest/gtest.h>
 
 #include "ebsn/generator.h"
@@ -84,6 +86,42 @@ TEST(WorkloadFactoryTest, CompetingCountsNearConfiguredMean) {
   }
   const double mean = total / instance->num_intervals();
   EXPECT_NEAR(mean, 3.0, 1.0);
+}
+
+// The endpoint-bias regression pin: the per-interval competing count is
+// a uniform *integer* on the closed range [round(mean-spread),
+// round(mean+spread)]. The old draw (llround of a uniform real) gave
+// the two endpoints half the interior probability, dragging the
+// empirical mean off the configured center. With the paper defaults
+// (8.1 ± 3.9) the range is [4, 12]: every value incl. both endpoints
+// must occur, nothing outside it, and the mean must sit near 8.
+TEST(WorkloadFactoryTest, CompetingCountsUniformOnClosedRange) {
+  WorkloadFactory factory(TestDataset());
+  PaperWorkloadConfig config;          // paper defaults: 8.1 ± 3.9
+  config.k = 100;                      // 150 intervals
+  config.num_candidate_events = 120;   // keep the build small
+  config.seed = 7;
+  auto instance = factory.Build(config);
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  std::map<size_t, size_t> frequency;
+  double total = 0.0;
+  for (core::IntervalIndex t = 0; t < instance->num_intervals(); ++t) {
+    const size_t count = instance->CompetingAt(t).size();
+    EXPECT_GE(count, 4u);
+    EXPECT_LE(count, 12u);
+    ++frequency[count];
+    total += static_cast<double>(count);
+  }
+  // 150 draws over 9 values: each endpoint is expected ~16-17 times;
+  // zero occurrences would flag the old half-weight endpoints (or an
+  // accidental half-open range).
+  EXPECT_GT(frequency[4], 0u);
+  EXPECT_GT(frequency[12], 0u);
+  const double mean = total / instance->num_intervals();
+  // Uniform on [4,12] has mean 8 and stddev ~2.58; over 150 draws the
+  // standard error is ~0.21, so +/-0.8 is a ~4-sigma band.
+  EXPECT_NEAR(mean, 8.0, 0.8);
 }
 
 TEST(WorkloadFactoryTest, DeterministicPerSeed) {

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Fixture suite for tools/run_benchmarks.py, registered with ctest.
+
+Exercises the pure helpers — median aggregation over report trees,
+canonical BENCH file writing, leaderboard/compare rendering, trace
+discovery — against synthetic reports in temp directories. No build or
+ses_cli binary is needed, so the suite stays fast enough for tier-1.
+"""
+
+import importlib.util
+import json
+import os
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RUNNER = os.path.join(REPO_ROOT, "tools", "run_benchmarks.py")
+
+_spec = importlib.util.spec_from_file_location("run_benchmarks", RUNNER)
+rb = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(rb)
+
+
+def make_report(completed=6, refused=0, expired=0, p50=0.002, p99=0.010,
+                rps=40.0):
+    """A minimal report in the ses_cli bench schema."""
+    return {
+        "trace": "unit",
+        "seed": 7,
+        "requests": {
+            "submitted": completed + refused + expired,
+            "completed": completed,
+            "refused": refused,
+            "deadline_expired": expired,
+            "expired_in_queue": 0,
+            "failed": 0,
+        },
+        "total_utility": 12.5,
+        "lanes": {
+            "high": {"submitted": 0, "started": 0, "expired_in_queue": 0},
+            "normal": {
+                "submitted": completed + refused + expired,
+                "started": completed,
+                "expired_in_queue": 0,
+                "queue_wait_seconds": {"p50": p50, "p99": p99, "mean": p50},
+            },
+            "batch": {"submitted": 0, "started": 0, "expired_in_queue": 0},
+        },
+        "solvers": {
+            "grd": {"submitted": completed, "runs": completed,
+                    "utility": 12.5},
+        },
+        "timing": {"duration_seconds": 0.25, "throughput_rps": rps},
+    }
+
+
+class MedianTest(unittest.TestCase):
+    def test_odd_and_even(self):
+        self.assertEqual(rb.median([3, 1, 2]), 2)
+        self.assertEqual(rb.median([4, 1, 2, 3]), 2.5)
+
+    def test_single(self):
+        self.assertEqual(rb.median([7.5]), 7.5)
+
+
+class MedianTreeTest(unittest.TestCase):
+    def test_numbers_take_elementwise_median(self):
+        trees = [make_report(rps=30.0), make_report(rps=50.0),
+                 make_report(rps=40.0)]
+        merged = rb.median_tree(trees)
+        self.assertEqual(merged["timing"]["throughput_rps"], 40.0)
+        # Identical strings pass through untouched.
+        self.assertEqual(merged["trace"], "unit")
+
+    def test_integer_fields_stay_integers(self):
+        trees = [make_report(completed=5), make_report(completed=7),
+                 make_report(completed=6)]
+        merged = rb.median_tree(trees)
+        self.assertEqual(merged["requests"]["completed"], 6)
+        self.assertIsInstance(merged["requests"]["completed"], int)
+
+    def test_schema_drift_raises(self):
+        good = make_report()
+        bad = make_report()
+        del bad["timing"]
+        with self.assertRaises(ValueError):
+            rb.median_tree([good, bad])
+
+    def test_string_disagreement_raises(self):
+        a = make_report()
+        b = make_report()
+        b["trace"] = "other"
+        with self.assertRaises(ValueError):
+            rb.median_tree([a, b])
+
+    def test_empty_raises(self):
+        with self.assertRaises(ValueError):
+            rb.median_tree([])
+
+
+class CanonicalFileTest(unittest.TestCase):
+    def test_write_canonical_roundtrips_and_sorts_keys(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = rb.write_canonical(
+                "unit", "S", [make_report(), make_report()], out_dir=tmp)
+            self.assertEqual(os.path.basename(path), "BENCH_unit.json")
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            tree = json.loads(text)
+            self.assertEqual(tree["scenario"], "unit")
+            self.assertEqual(tree["size"], "S")
+            self.assertEqual(tree["repeats"], 2)
+            self.assertEqual(tree["report"]["requests"]["completed"], 6)
+            # Canonical formatting: sorted keys, trailing newline.
+            self.assertEqual(
+                text, json.dumps(tree, indent=2, sort_keys=True) + "\n")
+
+
+class SummaryAndLeaderboardTest(unittest.TestCase):
+    def canonical(self, **kwargs):
+        return {"scenario": "unit", "size": "S", "repeats": 1,
+                "report": make_report(**kwargs)}
+
+    def test_summary_row_picks_busiest_lane(self):
+        row = rb.summary_row(self.canonical(p50=0.004, p99=0.02))
+        self.assertEqual(row["completed"], 6)
+        self.assertAlmostEqual(row["wait_p50_ms"], 4.0)
+        self.assertAlmostEqual(row["wait_p99_ms"], 20.0)
+
+    def test_summary_row_tolerates_missing_wait_stats(self):
+        canonical = self.canonical()
+        del canonical["report"]["lanes"]["normal"]["queue_wait_seconds"]
+        row = rb.summary_row(canonical)
+        self.assertIsNone(row["wait_p50_ms"])
+
+    def test_leaderboard_lists_every_scenario(self):
+        a = self.canonical()
+        b = self.canonical()
+        b["scenario"] = "zeta"
+        board = rb.render_leaderboard([b, a])
+        lines = board.splitlines()
+        self.assertIn("scenario", lines[0])
+        # Sorted by scenario name.
+        self.assertTrue(lines[2].startswith("unit"))
+        self.assertTrue(lines[3].startswith("zeta"))
+
+
+class CompareTest(unittest.TestCase):
+    def test_compare_rows_report_ratio(self):
+        old = {"scenario": "unit", "size": "S",
+               "report": make_report(rps=40.0)}
+        new = {"scenario": "unit", "size": "S",
+               "report": make_report(rps=50.0)}
+        rows = {key: (o, n, ratio)
+                for key, o, n, ratio in rb.compare_rows(old, new)}
+        o, n, ratio = rows["throughput_rps"]
+        self.assertEqual((o, n), (40.0, 50.0))
+        self.assertAlmostEqual(ratio, 0.25)
+        # Zero baseline: ratio is None, rendered as n/a.
+        self.assertIsNone(rows["refused"][2])
+        text = rb.render_compare("unit", rb.compare_rows(old, new))
+        self.assertIn("throughput_rps", text)
+        self.assertIn("+25.0%", text)
+
+
+class TraceDiscoveryTest(unittest.TestCase):
+    def test_list_traces_sorted_json_only(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            for name in ("b.json", "a.json", "notes.txt"):
+                with open(os.path.join(tmp, name), "w",
+                          encoding="utf-8") as fh:
+                    fh.write("{}")
+            traces = rb.list_traces(tmp)
+        self.assertEqual([scenario for scenario, _ in traces], ["a", "b"])
+
+    def test_repo_traces_cover_acceptance_scenarios(self):
+        scenarios = {scenario for scenario, _ in rb.list_traces()}
+        # The acceptance floor: >= 3 scenarios including a bursty-arrival
+        # and a deadline-heavy one.
+        self.assertGreaterEqual(len(scenarios), 3)
+        self.assertIn("bursty_arrivals", scenarios)
+        self.assertIn("deadline_heavy", scenarios)
+
+
+if __name__ == "__main__":
+    unittest.main()

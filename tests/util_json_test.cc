@@ -1,0 +1,110 @@
+/// util::JsonValue parser semantics: round-trips of every node kind,
+/// deterministic object iteration, and typed parse errors carrying a
+/// line/column diagnostic — the contract exp::TraceSpec's descriptor
+/// validation builds on.
+
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace ses::util {
+namespace {
+
+TEST(JsonParseTest, ScalarKinds) {
+  auto null_value = JsonValue::Parse("null");
+  ASSERT_TRUE(null_value.ok());
+  EXPECT_TRUE(null_value->is_null());
+
+  auto true_value = JsonValue::Parse("true");
+  ASSERT_TRUE(true_value.ok());
+  EXPECT_TRUE(true_value->AsBool());
+
+  auto number = JsonValue::Parse("-12.5e1");
+  ASSERT_TRUE(number.ok());
+  EXPECT_DOUBLE_EQ(number->AsNumber(), -125.0);
+
+  auto text = JsonValue::Parse("\"a\\n\\\"b\\\"\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->AsString(), "a\n\"b\"");
+}
+
+TEST(JsonParseTest, UnicodeEscape) {
+  auto value = JsonValue::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsString(), "A\xC3\xA9");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  const std::string doc = R"({
+    "name": "steady",
+    "rate": 120.5,
+    "bursts": [{"at": 0.25, "x": 4}, {"at": 0.5, "x": 2}],
+    "flags": {"open_loop": true, "note": null}
+  })";
+  auto parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.Find("name")->AsString(), "steady");
+  EXPECT_DOUBLE_EQ(root.Find("rate")->AsNumber(), 120.5);
+  const JsonValue* bursts = root.Find("bursts");
+  ASSERT_NE(bursts, nullptr);
+  ASSERT_EQ(bursts->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(bursts->AsArray()[1].Find("x")->AsNumber(), 2.0);
+  EXPECT_TRUE(root.Find("flags")->Find("open_loop")->AsBool());
+  EXPECT_TRUE(root.Find("flags")->Find("note")->is_null());
+  EXPECT_EQ(root.Find("absent"), nullptr);
+}
+
+TEST(JsonParseTest, ObjectIterationIsSorted) {
+  auto parsed = JsonValue::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(parsed.ok());
+  std::string order;
+  for (const auto& [key, value] : parsed->AsObject()) order += key;
+  EXPECT_EQ(order, "amz");
+}
+
+TEST(JsonParseTest, ErrorsNameTheLocation) {
+  auto truncated = JsonValue::Parse("{\"a\": ");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kParseError);
+
+  auto garbage = JsonValue::Parse("{}x");
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.status().message().find("trailing"), std::string::npos);
+
+  auto bad_line = JsonValue::Parse("{\n  \"a\": nope\n}");
+  ASSERT_FALSE(bad_line.ok());
+  EXPECT_NE(bad_line.status().message().find("line 2"), std::string::npos)
+      << bad_line.status().ToString();
+
+  auto duplicate = JsonValue::Parse(R"({"a": 1, "a": 2})");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().message().find("duplicate"),
+            std::string::npos);
+
+  auto bad_number = JsonValue::Parse("[1.2.3]");
+  ASSERT_FALSE(bad_number.ok());
+}
+
+TEST(JsonParseTest, WrongKindAccessorsAreZeroValued) {
+  auto parsed = JsonValue::Parse("42");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->AsBool());
+  EXPECT_TRUE(parsed->AsString().empty());
+  EXPECT_TRUE(parsed->AsArray().empty());
+  EXPECT_TRUE(parsed->AsObject().empty());
+  EXPECT_EQ(parsed->Find("k"), nullptr);
+}
+
+TEST(JsonParseTest, DeepNestingIsRejectedNotFatal) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  auto parsed = JsonValue::Parse(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("nesting"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ses::util

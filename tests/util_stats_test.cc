@@ -84,10 +84,26 @@ TEST(PercentileTest, SingleElement) {
   EXPECT_EQ(PercentileSorted({7.5}, 0.5), 7.5);
 }
 
+// The empty-window contract: no abort, count = 0, NaN-marked order
+// statistics. This is what keeps the bench harness alive when a trace
+// lane (or solver) saw zero requests.
 TEST(SummarizeTest, EmptySample) {
   Summary s = Summarize({});
   EXPECT_EQ(s.count, 0u);
   EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.max));
+  EXPECT_TRUE(std::isnan(s.p50));
+  EXPECT_TRUE(std::isnan(s.p90));
+  EXPECT_TRUE(std::isnan(s.p99));
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(PercentileTest, EmptySampleYieldsNaNNotAbort) {
+  EXPECT_TRUE(std::isnan(PercentileSorted({}, 0.0)));
+  EXPECT_TRUE(std::isnan(PercentileSorted({}, 0.5)));
+  EXPECT_TRUE(std::isnan(PercentileSorted({}, 1.0)));
 }
 
 TEST(SummarizeTest, BasicFields) {

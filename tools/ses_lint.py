@@ -121,8 +121,9 @@ import sys
 
 # Layer -> layers it may include (by the first path component of a
 # quoted include). tests/bench/tools/examples may use everything and are
-# exempt. exp legitimately includes api (exp::RunSolvers is a documented
-# client of api::Scheduler; see docs/ARCHITECTURE.md "Layer map").
+# exempt. exp legitimately includes api (exp::RunSolvers and the
+# trace-replay exp::LoadGenerator are documented clients of
+# api::Scheduler; see docs/ARCHITECTURE.md "Layer map").
 LAYERS = ("util", "core", "ebsn", "exp", "api")
 ALLOWED_INCLUDES = {
     "util": {"util"},
