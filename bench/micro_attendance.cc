@@ -1,10 +1,16 @@
 /// Microbenchmarks of the attendance-model kernels: Eq. 4 marginal-gain
-/// evaluation, Apply, interval-scratch reloads, and the reference
-/// objective. google-benchmark binary.
+/// evaluation, Apply, interval-scratch reloads, the reference
+/// objective, and the raw SoA span kernels (core/kernels.h) the model
+/// is built on. google-benchmark binary; `tools/run_benchmarks.py
+/// --micro` wraps it into the canonical BENCH_micro_attendance.json.
+
+#include <cstdint>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "core/attendance.h"
+#include "core/kernels.h"
 #include "core/objective.h"
 #include "ebsn/generator.h"
 #include "exp/workload.h"
@@ -112,6 +118,85 @@ void BM_InitialScoreGeneration(benchmark::State& state) {
       BenchInstance().num_intervals());
 }
 BENCHMARK(BM_InitialScoreGeneration);
+
+// --------------------------------------------------------------------
+// Raw kernel benchmarks: the span loops in isolation, no model, no
+// virtual dispatch — what the auto-vectorizer actually emits.
+// --------------------------------------------------------------------
+
+/// Shared dense-row fixture: |row| = kKernelUsers consecutive users
+/// with warm SoA state, the shape LuceGain sees on paper-scale rows.
+constexpr uint32_t kKernelUsers = 4096;
+
+struct KernelFixture {
+  core::IntervalSoA soa{kKernelUsers};
+  std::vector<core::UserIndex> users;
+  std::vector<float> values;
+
+  KernelFixture() {
+    users.reserve(kKernelUsers);
+    values.reserve(kKernelUsers);
+    core::kernels::FillSigmaHash(7, 0, soa.sigma);
+    for (core::UserIndex u = 0; u < kKernelUsers; ++u) {
+      users.push_back(u);
+      values.push_back(
+          0.05f + 0.9f * static_cast<float>(
+                             core::kernels::HashSigma(11, u, 1)));
+      soa.denom[u] = 0.5 + 2.0 * core::kernels::HashSigma(13, u, 2);
+      soa.sched_mass[u] = (u % 3 == 0) ? 0.0 : soa.denom[u] * 0.4;
+    }
+  }
+};
+
+KernelFixture& Fixture() {
+  static KernelFixture* fixture = new KernelFixture();
+  return *fixture;
+}
+
+void BM_KernelLuceGain(benchmark::State& state) {
+  KernelFixture& f = Fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::kernels::LuceGain(
+        f.users.data(), f.values.data(), f.users.size(), f.soa.denom.data(),
+        f.soa.sched_mass.data(), f.soa.sigma.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kKernelUsers);
+}
+BENCHMARK(BM_KernelLuceGain);
+
+void BM_KernelFillSigmaHash(benchmark::State& state) {
+  KernelFixture& f = Fixture();
+  core::IntervalIndex t = 0;
+  for (auto _ : state) {
+    core::kernels::FillSigmaHash(7, t++, f.soa.sigma);
+    benchmark::DoNotOptimize(f.soa.sigma.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kKernelUsers);
+}
+BENCHMARK(BM_KernelFillSigmaHash);
+
+void BM_KernelAccumulateClear(benchmark::State& state) {
+  // One LoadInterval-shaped cycle on pristine scratch: clear the
+  // previously touched users, then scatter-add one dense row.
+  core::IntervalSoA soa(kKernelUsers);
+  KernelFixture& f = Fixture();
+  for (auto _ : state) {
+    core::kernels::ClearTouched(soa.touched.data(), soa.num_touched,
+                                soa.denom.data(), soa.sched_mass.data(),
+                                soa.in_touched.data());
+    soa.num_touched = 0;
+    soa.num_touched = core::kernels::AccumulateMass(
+        f.users.data(), f.values.data(), f.users.size(), soa.denom.data(),
+        nullptr, soa.touched.data(), soa.in_touched.data(),
+        soa.num_touched);
+    benchmark::DoNotOptimize(soa.denom.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kKernelUsers);
+}
+BENCHMARK(BM_KernelAccumulateClear);
 
 }  // namespace
 

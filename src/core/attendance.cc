@@ -1,5 +1,6 @@
 #include "core/attendance.h"
 
+#include "core/kernels.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -9,17 +10,14 @@ AttendanceModel::AttendanceModel(const SesInstance& instance,
                                  size_t sigma_cache_capacity)
     : instance_(&instance),
       schedule_(instance),
-      denom_(instance.num_users(), 0.0),
-      sched_mass_(instance.num_users(), 0.0),
-      sigma_scratch_(instance.num_users(), 0.0f),
+      // The constructor down-payment for the hot-path contract: every
+      // SoA span (D, M, sigma, touched) is sized to |U| here, so
+      // steady-state LoadInterval/TouchLoaded kernels only ever store
+      // through pre-sized spans — no growth, no allocation (re-proven
+      // at runtime by tests/core_hot_path_alloc_test.cc).
+      soa_(instance.num_users()),
       interval_cache_(instance.num_intervals()),
       cache_capacity_(sigma_cache_capacity) {
-  // The constructor down-payment for the hot-path contract: touched_
-  // holds at most one entry per user, so reserving |U| up front makes
-  // every steady-state LoadInterval/TouchLoaded push_back
-  // allocation-free (the amortized-capacity escape in the hot-path
-  // lint; re-proven at runtime by tests/core_hot_path_alloc_test.cc).
-  touched_.reserve(instance.num_users());
   if (cache_capacity_ > 0) ready_intervals_.reserve(cache_capacity_);
 }
 
@@ -40,16 +38,17 @@ void AttendanceModel::EvictLeastRecent() {
   victim.loads = 0;
   // Swap-with-empty actually releases the memory — the whole point of
   // the capacity bound.
-  std::vector<std::pair<UserIndex, double>>().swap(victim.competing);
-  std::vector<float>().swap(victim.sigma);
+  std::vector<UserIndex>().swap(victim.competing_users);
+  util::AlignedVector<double>().swap(victim.competing_mass);
+  util::AlignedVector<float>().swap(victim.sigma);
   ready_intervals_[victim_slot] = ready_intervals_.back();
   ready_intervals_.pop_back();
 }
 
 void AttendanceModel::MaterializeCache(IntervalIndex t,
                                        IntervalCache& cache) {
-  // Snapshot the interval's competing masses (denom_ holds exactly C
-  // here — scheduled events are folded in after this returns) and its
+  // Snapshot the interval's competing masses (soa_.denom holds exactly
+  // C here — scheduled events are folded in after this returns) and its
   // sigma row for every future reload. Under a capacity bound, make
   // room first (LRU): the cache is pure memoization, so eviction can
   // never change a result bit.
@@ -58,12 +57,16 @@ void AttendanceModel::MaterializeCache(IntervalIndex t,
     ready_intervals_.push_back(t);
   }
   cache.last_used = ++lru_clock_;
-  cache.competing.reserve(touched_.size());
-  for (UserIndex u : touched_) {
-    cache.competing.emplace_back(u, denom_[u]);
+  cache.competing_users.reserve(soa_.num_touched);
+  cache.competing_mass.reserve(soa_.num_touched);
+  for (size_t i = 0; i < soa_.num_touched; ++i) {
+    const UserIndex u = soa_.touched[i];
+    cache.competing_users.push_back(u);
+    cache.competing_mass.push_back(soa_.denom[u]);
   }
   cache.sigma.resize(instance_->num_users());
-  instance_->sigma().FillInterval(t, cache.sigma);
+  instance_->sigma().FillInterval(
+      t, std::span<float>(cache.sigma.data(), cache.sigma.size()));
   cache.ready = true;
   sigma_row_ = cache.sigma.data();
 }
@@ -71,31 +74,31 @@ void AttendanceModel::MaterializeCache(IntervalIndex t,
 void AttendanceModel::LoadInterval(IntervalIndex t) {
   if (loaded_ == t) return;
   // Reset only the entries touched by the previously loaded interval.
-  for (UserIndex u : touched_) {
-    denom_[u] = 0.0;
-    sched_mass_[u] = 0.0;
-  }
-  touched_.clear();
+  kernels::ClearTouched(soa_.touched.data(), soa_.num_touched,
+                        soa_.denom.data(), soa_.sched_mass.data(),
+                        soa_.in_touched.data());
+  soa_.num_touched = 0;
   loaded_ = t;
 
   IntervalCache& cache = interval_cache_[t];
   if (cache.ready) {
-    // Fast path: replay the schedule-independent state from the cache.
+    // Fast path: replay the schedule-independent state from the cache
+    // — two contiguous span reads, one scatter.
     cache.last_used = ++lru_clock_;
-    for (const auto& [u, mass] : cache.competing) {
-      touched_.push_back(u);
-      denom_[u] = mass;
-    }
+    soa_.num_touched = kernels::ScatterMasses(
+        cache.competing_users.data(), cache.competing_mass.data(),
+        cache.competing_users.size(), soa_.denom.data(),
+        soa_.touched.data(), soa_.in_touched.data());
     sigma_row_ = cache.sigma.data();
   } else {
     for (CompetingIndex c : instance_->CompetingAt(t)) {
       auto users = instance_->CompetingUsers(c);
       auto values = instance_->CompetingValues(c);
-      for (size_t i = 0; i < users.size(); ++i) {
-        const UserIndex u = users[i];
-        if (denom_[u] == 0.0) touched_.push_back(u);
-        denom_[u] += static_cast<double>(values[i]);
-      }
+      // Competing mass is never removed, so M stays untouched (null).
+      soa_.num_touched = kernels::AccumulateMass(
+          users.data(), values.data(), users.size(), soa_.denom.data(),
+          nullptr, soa_.touched.data(), soa_.in_touched.data(),
+          soa_.num_touched);
     }
     if (cache.loads < 2) ++cache.loads;
     if (cache.loads >= 2) {
@@ -110,36 +113,28 @@ void AttendanceModel::LoadInterval(IntervalIndex t) {
       // |U|-entry row it produces — the sanctioned exception to the
       // no-virtual-dispatch rule (SigmaProvider is the extension
       // point; per-entry At() calls are what the rule exists to stop).
-      instance_->sigma().FillInterval(t, sigma_scratch_);  // ses-lint: allow(hot-path) one virtual bulk fill amortized over |U| entries
-      sigma_row_ = sigma_scratch_.data();
+      instance_->sigma().FillInterval(t, soa_.sigma);  // ses-lint: allow(hot-path) one virtual bulk fill amortized over |U| entries
+      sigma_row_ = soa_.sigma.data();
     }
   }
 
   for (EventIndex p : schedule_.EventsAt(t)) {
     auto users = instance_->EventUsers(p);
     auto values = instance_->EventValues(p);
-    for (size_t i = 0; i < users.size(); ++i) {
-      const UserIndex u = users[i];
-      if (denom_[u] == 0.0) touched_.push_back(u);
-      denom_[u] += static_cast<double>(values[i]);
-      sched_mass_[u] += static_cast<double>(values[i]);
-    }
+    soa_.num_touched = kernels::AccumulateMass(
+        users.data(), values.data(), users.size(), soa_.denom.data(),
+        soa_.sched_mass.data(), soa_.touched.data(),
+        soa_.in_touched.data(), soa_.num_touched);
   }
 }
 
 void AttendanceModel::TouchLoaded(EventIndex e, double sign) {
   auto users = instance_->EventUsers(e);
   auto values = instance_->EventValues(e);
-  for (size_t i = 0; i < users.size(); ++i) {
-    const UserIndex u = users[i];
-    const double mu = sign * static_cast<double>(values[i]);
-    if (denom_[u] == 0.0 && mu > 0.0) touched_.push_back(u);
-    denom_[u] += mu;
-    sched_mass_[u] += mu;
-    // Guard against negative residue from floating-point cancellation.
-    if (denom_[u] < 0.0) denom_[u] = 0.0;
-    if (sched_mass_[u] < 0.0) sched_mass_[u] = 0.0;
-  }
+  soa_.num_touched = kernels::TouchMass(
+      users.data(), values.data(), users.size(), sign, soa_.denom.data(),
+      soa_.sched_mass.data(), soa_.touched.data(), soa_.in_touched.data(),
+      soa_.num_touched);
 }
 
 double AttendanceModel::MarginalGain(EventIndex e, IntervalIndex t) {
@@ -149,19 +144,9 @@ double AttendanceModel::MarginalGain(EventIndex e, IntervalIndex t) {
 
   auto users = instance_->EventUsers(e);
   auto values = instance_->EventValues(e);
-  double gain = 0.0;
-  for (size_t i = 0; i < users.size(); ++i) {
-    const UserIndex u = users[i];
-    const double x = static_cast<double>(values[i]);
-    const double d = denom_[u];
-    const double m = sched_mass_[u];
-    // (M + x) / (D + x) - M / D; the old term vanishes when D == 0
-    // (then M == 0 as well and the new term is x / x = 1).
-    const double term_new = (m + x) / (d + x);
-    const double term_old = d > 0.0 ? m / d : 0.0;
-    gain += static_cast<double>(sigma_row_[u]) * (term_new - term_old);
-  }
-  return gain;
+  return kernels::LuceGain(users.data(), values.data(), users.size(),
+                           soa_.denom.data(), soa_.sched_mass.data(),
+                           sigma_row_);
 }
 
 void AttendanceModel::Apply(EventIndex e, IntervalIndex t) {
@@ -179,23 +164,13 @@ void AttendanceModel::Unapply(EventIndex e) {
   LoadInterval(t);
 
   // Loss mirrors the gain formula: contribution of the interval with e
-  // minus the contribution without it. Here D and M already include e.
+  // minus the contribution without it. D and M already include e, so
+  // the kernel subtracts x back out per user (kernels::LuceLoss).
   auto users = instance_->EventUsers(e);
   auto values = instance_->EventValues(e);
-  double loss = 0.0;
-  for (size_t i = 0; i < users.size(); ++i) {
-    const UserIndex u = users[i];
-    const double x = static_cast<double>(values[i]);
-    const double d = denom_[u];
-    const double m = sched_mass_[u];
-    const double term_with = d > 0.0 ? m / d : 0.0;
-    const double d_without = d - x;
-    const double m_without = m - x;
-    const double term_without =
-        d_without > 1e-12 ? (m_without > 0.0 ? m_without / d_without : 0.0)
-                          : 0.0;
-    loss += static_cast<double>(sigma_row_[u]) * (term_with - term_without);
-  }
+  const double loss = kernels::LuceLoss(
+      users.data(), values.data(), users.size(), soa_.denom.data(),
+      soa_.sched_mass.data(), sigma_row_);
 
   SES_CHECK(schedule_.Unassign(e).ok());
   TouchLoaded(e, -1.0);

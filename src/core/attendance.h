@@ -25,10 +25,15 @@
 ///       "only update the chosen interval" rule and the lazy (CELF-style)
 ///       greedy variant.
 ///
-/// The engine keeps dense per-user scratch (D, M, sigma) for a single
-/// "loaded" interval at a time. GRD's access pattern (interval-major
-/// initial sweep, then one interval per iteration) makes this the right
-/// trade: marginal gains cost O(nnz(row)) with pure array reads.
+/// The engine keeps its dense per-user scratch for a single "loaded"
+/// interval at a time as a structure-of-arrays bundle (core::IntervalSoA:
+/// D, M, sigma row, touched list — contiguous 64-byte-aligned spans),
+/// and every inner loop over that scratch is a batched span kernel from
+/// core/kernels.h rather than an open-coded scalar loop. GRD's access
+/// pattern (interval-major initial sweep, then one interval per
+/// iteration) makes this the right trade: marginal gains cost
+/// O(nnz(row)) with pure array reads, now through restrict-qualified
+/// pointers the compiler can vectorize.
 ///
 /// Reloading an interval used to recompute its schedule-independent
 /// state from scratch every time: the aggregated competing-event
@@ -59,8 +64,10 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "core/kernels.h"
 #include "core/schedule.h"
 #include "core/types.h"
+#include "util/aligned.h"
 #include "util/hot_annotations.h"
 #include "util/status.h"
 
@@ -89,7 +96,8 @@ class AttendanceModel {
   }
 
   /// Eq. 4: utility gain of assigning unassigned event \p e to \p t under
-  /// the current schedule. Does not modify the schedule.
+  /// the current schedule. Does not modify the schedule. The sum itself
+  /// is kernels::LuceGain over the loaded SoA spans.
   ///
   /// SES_HOT: the O(|E|·|T|) score-generation loop (Algorithm 1 lines
   /// 2–4) funnels through here — the hot-path lint proves this call
@@ -112,19 +120,22 @@ class AttendanceModel {
   uint64_t gain_evaluations() const { return gain_evaluations_; }
 
  private:
-  /// Rebuilds dense scratch (denominators, scheduled mass, sigma row) for
-  /// interval \p t unless already loaded. Steady-state loads (cache
-  /// replay or scratch accumulate) are allocation-free: every growable
-  /// buffer is reserved to its instance-dimension bound at
-  /// construction, and the one materializing path is split into
-  /// MaterializeCache below.
+  /// Rebuilds the SoA scratch (denominators, scheduled mass, sigma row)
+  /// for interval \p t unless already loaded, via the scatter kernels
+  /// in core/kernels.h. Steady-state loads (cache replay or scratch
+  /// accumulate) are allocation-free: every SoA span is sized to its
+  /// instance-dimension bound at construction, and the one
+  /// materializing path is split into MaterializeCache below.
   SES_HOT void LoadInterval(IntervalIndex t);
 
   /// Adds (sign=+1) or removes (sign=-1) event \p e's interest row from
-  /// the loaded scratch.
+  /// the loaded scratch (kernels::TouchMass).
   SES_HOT void TouchLoaded(EventIndex e, double sign);
 
   /// Schedule-independent per-interval state, cached on second load.
+  /// Stored structure-of-arrays (parallel user/mass vectors) so cache
+  /// replay is a contiguous two-span scatter (kernels::ScatterMasses)
+  /// instead of a pair-walk.
   struct IntervalCache {
     /// Saturating load counter; the cache materializes at 2. Reset on
     /// eviction, so an evicted interval must prove itself reload-heavy
@@ -135,11 +146,14 @@ class AttendanceModel {
     bool ready = false;
     /// LRU stamp: value of lru_clock_ at the last load of this entry.
     uint64_t last_used = 0;
+    /// Users with non-zero competing mass, parallel to competing_mass.
+    std::vector<UserIndex> competing_users;
     /// Aggregated competing-event interest mass per user (C), doubles to
     /// keep cached reloads bitwise identical to the uncached path.
-    std::vector<std::pair<UserIndex, double>> competing;
-    /// Dense sigma(u, t) row.
-    std::vector<float> sigma;
+    util::AlignedVector<double> competing_mass;
+    /// Dense sigma(u, t) row, kernel-aligned like the scratch row it
+    /// substitutes for.
+    util::AlignedVector<float> sigma;
   };
 
   /// The deliberately cold half of LoadInterval: snapshots interval
@@ -156,11 +170,11 @@ class AttendanceModel {
   Schedule schedule_;
 
   IntervalIndex loaded_ = kInvalidIndex;
-  std::vector<double> denom_;       ///< D = C + M per user (loaded interval)
-  std::vector<double> sched_mass_;  ///< M per user (loaded interval)
-  std::vector<float> sigma_scratch_;  ///< uncached sigma row storage
+  /// D / M / sigma scratch + touched list for the loaded interval, as
+  /// contiguous aligned spans (see core/kernels.h for the layout and
+  /// the bit-identity contract of the kernels that walk it).
+  IntervalSoA soa_;
   const float* sigma_row_ = nullptr;  ///< sigma(u, loaded interval)
-  std::vector<UserIndex> touched_;  ///< users with non-zero scratch
   std::vector<IntervalCache> interval_cache_;  ///< one slot per interval
   size_t cache_capacity_ = 0;  ///< max ready entries; 0 = unlimited
   uint64_t lru_clock_ = 0;     ///< monotonic load stamp source

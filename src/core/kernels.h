@@ -1,0 +1,188 @@
+#ifndef SES_CORE_KERNELS_H_
+#define SES_CORE_KERNELS_H_
+
+/// \file
+/// Structure-of-arrays interval state + the batched span kernels of the
+/// O(|E|·|T|) score loop (Algorithm 1 lines 2–4).
+///
+/// The attendance engine's per-user scratch used to live in three
+/// independently allocated vectors walked by scalar loops spread across
+/// attendance.cc. This header centralizes both halves of that design:
+///
+///   - IntervalSoA: one bundle of contiguous, 64-byte-aligned spans per
+///     loaded interval — denominators D, scheduled mass M, the sigma
+///     row, and the touched-user list. Dense, index-addressed, built
+///     once per AttendanceModel::LoadInterval.
+///   - kernels::*: the inner loops as free functions over
+///     restrict-qualified pointers. No per-element virtual dispatch, no
+///     branches the compiler cannot if-convert, no aliasing it has to
+///     assume — the shape auto-vectorizers want.
+///
+/// Numerics contract (pinned by tests/core_kernel_diff_test.cc): every
+/// kernel preserves the evaluation order of the scalar code it
+/// replaced, element i strictly after element i-1 into a single
+/// accumulator, so results are BIT-IDENTICAL to the reference loops —
+/// the speed comes from devirtualization, aliasing guarantees, and
+/// lane-parallel arithmetic inside one element, never from
+/// re-association. Kernels compared against the from-scratch
+/// objective.h references (different association by construction) are
+/// instead held to a documented 1e-6 relative tolerance. Both pins
+/// assume strict IEEE semantics, hence the fast-math guard below; the
+/// lint CI job additionally greps the build flags.
+
+#if defined(__FAST_MATH__)
+#error \
+    "core/kernels.h requires strict IEEE float semantics: the differential \
+kernel pins (tests/core_kernel_diff_test.cc) assert bit-identity and tight \
+tolerances that -ffast-math breaks. Build without -ffast-math."
+#endif
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/types.h"
+#include "util/aligned.h"
+#include "util/hot_annotations.h"
+
+namespace ses::core {
+
+/// Structure-of-arrays per-user state for one loaded interval. All
+/// spans are |U| long, contiguous, and util::kKernelAlignment-aligned;
+/// `touched` lists the users with non-zero mass (first `num_touched`
+/// entries), pre-sized to |U| so steady-state loads never allocate.
+///
+/// D and M are doubles: the incremental engine accumulates interest
+/// mass across Apply/Unapply and cache replays, and the bit-identity
+/// contract between cached and uncached loads
+/// (tests/core_sigma_cache_test.cc) requires the replayed masses to be
+/// the exact doubles the scratch path accumulated. Sigma stays float —
+/// it is read-only within a load, so no precision compounds.
+struct IntervalSoA {
+  explicit IntervalSoA(size_t num_users)
+      : denom(num_users, 0.0),
+        sched_mass(num_users, 0.0),
+        sigma(num_users, 0.0f),
+        touched(num_users, 0),
+        in_touched(num_users, 0) {}
+
+  util::AlignedVector<double> denom;       ///< D = C + M per user
+  util::AlignedVector<double> sched_mass;  ///< M per user
+  util::AlignedVector<float> sigma;        ///< sigma(u, t) scratch row
+  util::AlignedVector<UserIndex> touched;  ///< users with non-zero scratch
+  /// Byte mask deduplicating `touched`: in_touched[u] != 0 iff u is in
+  /// the valid prefix. Apply/Unapply churn can clamp a user's mass back
+  /// to exactly zero and later re-touch it; the mask keeps such users
+  /// from being recorded twice, which is what makes the fixed |U|
+  /// bound on `touched` strict (the pre-SoA growable vector simply
+  /// accepted duplicates and reallocated past its reserve).
+  util::AlignedVector<uint8_t> in_touched;
+  size_t num_touched = 0;  ///< valid prefix of `touched`
+};
+
+namespace kernels {
+
+/// `double* SES_RESTRICT p`: no other pointer in the kernel aliases p.
+/// Every IntervalSoA span and every CSR row is a distinct allocation,
+/// so the promise holds by construction; it is what licenses the
+/// compiler to keep D/M/sigma lanes in registers across the loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define SES_RESTRICT __restrict__
+#else
+#define SES_RESTRICT
+#endif
+
+/// SplitMix64-style finalizer over the packed (seed, u, t) key, scaled
+/// to a double in [0, 1). The storage-free Uniform sigma of the paper's
+/// experimental setting (HashUniformSigma delegates here).
+SES_HOT inline double HashSigma(uint64_t seed, UserIndex u,
+                                IntervalIndex t) {
+  uint64_t z = seed ^ (static_cast<uint64_t>(u) * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(t) + 0xbf58476d1ce4e5b9ULL) *
+                   0x94d049bb133111ebULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+/// out[u] = value for all u (ConstSigma's bulk row).
+SES_HOT void FillSigmaConst(float value, std::span<float> out);
+
+/// out[u] = HashSigma(seed, u, t) for all u (HashUniformSigma's bulk
+/// row): pure integer mixing per lane, the textbook vectorizable loop.
+SES_HOT void FillSigmaHash(uint64_t seed, IntervalIndex t,
+                           std::span<float> out);
+
+/// out = row[0 .. out.size()) (DenseSigma's bulk row).
+SES_HOT void CopySigmaRow(std::span<const float> row, std::span<float> out);
+
+/// Zeroes D, M, and the dedup mask at the `n` touched indices
+/// (interval unload).
+SES_HOT void ClearTouched(const UserIndex* SES_RESTRICT touched, size_t n,
+                          double* SES_RESTRICT denom,
+                          double* SES_RESTRICT sched_mass,
+                          uint8_t* SES_RESTRICT in_touched);
+
+/// Cache replay: denom[users[i]] = masses[i], recording each user in
+/// `touched` + the mask. Returns the touched count (== n; cache
+/// entries are mask-deduplicated at materialization). The masses are
+/// the exact doubles AccumulateMass produced when the entry
+/// materialized, so a replayed load is bit-identical to the scratch
+/// load it skips.
+SES_HOT size_t ScatterMasses(const UserIndex* SES_RESTRICT users,
+                             const double* SES_RESTRICT masses, size_t n,
+                             double* SES_RESTRICT denom,
+                             UserIndex* SES_RESTRICT touched,
+                             uint8_t* SES_RESTRICT in_touched);
+
+/// Scatter-adds one sparse interest row: denom[u] += values[i], and
+/// sched_mass[u] likewise when sched_mass is non-null (scheduled-event
+/// rows; null for competing rows, whose mass is not removable).
+/// First-touched users (denom exactly 0 pre-add, not yet in the mask)
+/// are appended to `touched` at `num_touched`; returns the new count.
+/// `touched` must have capacity |U| — the mask makes that bound
+/// strict; the kernel stores, never grows.
+SES_HOT size_t AccumulateMass(const UserIndex* SES_RESTRICT users,
+                              const float* SES_RESTRICT values, size_t n,
+                              double* SES_RESTRICT denom,
+                              double* SES_RESTRICT sched_mass,
+                              UserIndex* SES_RESTRICT touched,
+                              uint8_t* SES_RESTRICT in_touched,
+                              size_t num_touched);
+
+/// Signed variant for Apply/Unapply: adds sign * values[i] to D and M,
+/// clamping tiny negative cancellation residue to zero, appending
+/// first-touched users exactly like AccumulateMass. Returns the new
+/// touched count.
+SES_HOT size_t TouchMass(const UserIndex* SES_RESTRICT users,
+                         const float* SES_RESTRICT values, size_t n,
+                         double sign, double* SES_RESTRICT denom,
+                         double* SES_RESTRICT sched_mass,
+                         UserIndex* SES_RESTRICT touched,
+                         uint8_t* SES_RESTRICT in_touched,
+                         size_t num_touched);
+
+/// Eq. 4 (the Luce-choice gain): sum over the event's sparse interest
+/// row of sigma[u] * ((M + x) / (D + x) - (D > 0 ? M / D : 0)).
+/// Sequential single-accumulator sum — bit-identical to the scalar
+/// reference.
+SES_HOT double LuceGain(const UserIndex* SES_RESTRICT users,
+                        const float* SES_RESTRICT values, size_t n,
+                        const double* SES_RESTRICT denom,
+                        const double* SES_RESTRICT sched_mass,
+                        const float* SES_RESTRICT sigma);
+
+/// Removal mirror of LuceGain for an event already folded into D and M:
+/// sum of sigma[u] * (M / D - (M - x) / (D - x)), with the emptied
+/// denominator guarded at 1e-12 exactly as the scalar code did.
+SES_HOT double LuceLoss(const UserIndex* SES_RESTRICT users,
+                        const float* SES_RESTRICT values, size_t n,
+                        const double* SES_RESTRICT denom,
+                        const double* SES_RESTRICT sched_mass,
+                        const float* SES_RESTRICT sigma);
+
+}  // namespace kernels
+}  // namespace ses::core
+
+#endif  // SES_CORE_KERNELS_H_

@@ -12,6 +12,13 @@
 /// These functions recompute everything from scratch. They are the ground
 /// truth that the incremental AttendanceModel is tested against, and the
 /// final-answer evaluator used when reporting solver results.
+///
+/// They are also the independent oracle for the kernel layer
+/// (core/kernels.h): tests/core_kernel_diff_test.cc pins
+/// kernels::LuceGain-backed MarginalGain against AssignmentScore to a
+/// 1e-6 relative tolerance — tolerance rather than bit-identity because
+/// these references sum in a different association (per-user map walk)
+/// than the incremental engine's single accumulator.
 
 #include "core/instance.h"
 #include "core/schedule.h"

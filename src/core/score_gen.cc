@@ -34,10 +34,13 @@ SES_HOT uint64_t ScoreRange(const SesInstance& instance,
     // Deliberate boundary poll: one deadline/cancellation check per
     // interval row (a clock read), amortized over |E| gain evaluations.
     if (context.CheckStop(termination)) break;  // ses-lint: allow(hot-path) boundary poll, once per |E|-cell row
+    // Hoisted restrict row pointer: shards own disjoint [lo, hi) rows,
+    // so nothing else aliases this row while we fill it, and the
+    // compiler may keep the base address in a register across the row.
+    double* SES_RESTRICT row = scores.data() + t * num_events;
     for (EventIndex e = 0; e < num_events; ++e) {
       if (model.schedule().IsAssigned(e)) continue;  // warm-started
-      scores[t * num_events + e] =
-          model.MarginalGain(e, static_cast<IntervalIndex>(t));
+      row[e] = model.MarginalGain(e, static_cast<IntervalIndex>(t));
       ++evaluations;
     }
   }

@@ -1,20 +1,8 @@
 #include "core/sigma.h"
 
+#include "core/kernels.h"
+
 namespace ses::core {
-
-namespace {
-
-/// SplitMix64-style finalizer over the packed (seed, u, t) key.
-inline uint64_t MixKey(uint64_t seed, UserIndex u, IntervalIndex t) {
-  uint64_t z = seed ^ (static_cast<uint64_t>(u) * 0x9e3779b97f4a7c15ULL) ^
-               (static_cast<uint64_t>(t) + 0xbf58476d1ce4e5b9ULL) *
-                   0x94d049bb133111ebULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 void SigmaProvider::FillInterval(IntervalIndex t,
                                  std::span<float> out) const {
@@ -24,7 +12,7 @@ void SigmaProvider::FillInterval(IntervalIndex t,
 }
 
 void ConstSigma::FillInterval(IntervalIndex, std::span<float> out) const {
-  std::fill(out.begin(), out.end(), static_cast<float>(value_));
+  kernels::FillSigmaConst(static_cast<float>(value_), out);
 }
 
 DenseSigma::DenseSigma(std::vector<std::vector<float>> rows)
@@ -49,18 +37,16 @@ double DenseSigma::At(UserIndex u, IntervalIndex t) const {
 void DenseSigma::FillInterval(IntervalIndex t, std::span<float> out) const {
   SES_CHECK_LT(t, rows_.size());
   SES_CHECK_LE(out.size(), rows_[t].size());
-  std::copy(rows_[t].begin(), rows_[t].begin() + out.size(), out.begin());
+  kernels::CopySigmaRow(rows_[t], out);
 }
 
 double HashUniformSigma::At(UserIndex u, IntervalIndex t) const {
-  return static_cast<double>(MixKey(seed_, u, t) >> 11) * 0x1.0p-53;
+  return kernels::HashSigma(seed_, u, t);
 }
 
 void HashUniformSigma::FillInterval(IntervalIndex t,
                                     std::span<float> out) const {
-  for (size_t u = 0; u < out.size(); ++u) {
-    out[u] = static_cast<float>(At(static_cast<UserIndex>(u), t));
-  }
+  kernels::FillSigmaHash(seed_, t, out);
 }
 
 }  // namespace ses::core

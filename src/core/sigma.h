@@ -10,6 +10,14 @@
 /// sigma (HashUniformSigma — storage-free, deterministic from a seed)
 /// while tests use explicit dense matrices and EBSN-driven models adapt
 /// check-in histories.
+///
+/// Every `final` provider's FillInterval override delegates its row
+/// math to a batched span kernel in core/kernels.h (FillSigmaConst /
+/// CopySigmaRow / FillSigmaHash): one virtual call per interval load,
+/// zero per element, and the kernel body is restrict-qualified so the
+/// compiler vectorizes it. Bulk fills are pinned bit-identical to
+/// per-element At by tests/core_sigma_test.cc and
+/// tests/core_kernel_diff_test.cc.
 
 #include <cstdint>
 #include <span>

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "core/attendance.h"
+#include "core/kernels.h"
 #include "core/objective.h"
 #include "core/sigma.h"
 #include "tests/test_util.h"
@@ -119,6 +120,52 @@ TEST(HotPathAllocTest, SigmaProviderFillsAreAllocationFree) {
     dense.FillInterval(t, row);
     sink += row[t];
     sink += hashed.At(0, t) + constant.At(0, t) + dense.At(0, t);
+  }
+  EXPECT_EQ(check.allocations(), 0u);
+  EXPECT_TRUE(std::isfinite(sink));
+}
+
+TEST(HotPathAllocTest, KernelSweepIsAllocationFree) {
+  if (!util::AllocGuardEnabled()) GTEST_SKIP() << kSkipMessage;
+  // The SoA kernels called directly, bypassing AttendanceModel: a warm
+  // sweep over pre-sized spans must be pure arithmetic — the kernels
+  // take raw restrict pointers and have nothing to grow. This is the
+  // runtime half of the lint's hot-path proof for the kernels::*
+  // inventory entries.
+  constexpr uint32_t kUsers = 512;
+  IntervalSoA soa(kUsers);  // allocation happens here, outside the window
+  std::vector<UserIndex> users;
+  std::vector<float> values;
+  for (UserIndex u = 0; u < kUsers; u += 3) {
+    users.push_back(u);
+    values.push_back(0.25f + static_cast<float>(u % 7) * 0.1f);
+  }
+  double sink = 0.0;
+  util::ScopedAllocCheck check;
+  for (int pass = 0; pass < 16; ++pass) {
+    kernels::ClearTouched(soa.touched.data(), soa.num_touched,
+                          soa.denom.data(), soa.sched_mass.data(),
+                          soa.in_touched.data());
+    soa.num_touched = 0;
+    kernels::FillSigmaHash(42, static_cast<IntervalIndex>(pass), soa.sigma);
+    soa.num_touched = kernels::AccumulateMass(
+        users.data(), values.data(), users.size(), soa.denom.data(),
+        nullptr, soa.touched.data(), soa.in_touched.data(),
+        soa.num_touched);
+    soa.num_touched = kernels::AccumulateMass(
+        users.data(), values.data(), users.size(), soa.denom.data(),
+        soa.sched_mass.data(), soa.touched.data(), soa.in_touched.data(),
+        soa.num_touched);
+    sink += kernels::LuceGain(users.data(), values.data(), users.size(),
+                              soa.denom.data(), soa.sched_mass.data(),
+                              soa.sigma.data());
+    sink += kernels::LuceLoss(users.data(), values.data(), users.size(),
+                              soa.denom.data(), soa.sched_mass.data(),
+                              soa.sigma.data());
+    soa.num_touched = kernels::TouchMass(
+        users.data(), values.data(), users.size(), -1.0, soa.denom.data(),
+        soa.sched_mass.data(), soa.touched.data(), soa.in_touched.data(),
+        soa.num_touched);
   }
   EXPECT_EQ(check.allocations(), 0u);
   EXPECT_TRUE(std::isfinite(sink));

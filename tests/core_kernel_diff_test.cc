@@ -1,0 +1,617 @@
+/// \file
+/// Differential kernel-testing harness for the SoA kernel layer
+/// (core/kernels.h): every batched span kernel is compared against a
+/// kept scalar reference implementation — the exact loops the kernels
+/// replaced — and the kernel-backed AttendanceModel is compared
+/// against both a from-scratch scalar recompute and the objective.h
+/// oracle, property-swept over seeds × sigma providers × degenerate
+/// instance shapes × thread counts.
+///
+/// Equality tiers (see the contract note atop core/kernels.h):
+///
+///   BIT-IDENTICAL — kernel vs the scalar loop it replaced, and
+///     MarginalGain vs a scalar from-scratch recompute that accumulates
+///     in the same order. The kernels preserve evaluation order, so any
+///     difference — one reassociated add, one fused multiply — is a
+///     test failure, not tolerance noise.
+///   ≤ 1e-6 RELATIVE — MarginalGain vs objective::AssignmentScore. The
+///     oracle sums per-user terms in a different association (hash-map
+///     walk over a schedule copy), so bit-equality is not defined;
+///     1e-6 matches the pre-existing pin in core_attendance_test.cc.
+///
+/// Degenerate shapes: |U|=1 (InstanceBuilder rejects |U|=0, so the
+/// zero-user case is covered at the kernel level by n=0 spans), a
+/// single interval, and all-users-interested dense rows.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/attendance.h"
+#include "core/instance.h"
+#include "core/kernels.h"
+#include "core/objective.h"
+#include "core/schedule.h"
+#include "core/score_gen.h"
+#include "core/sigma.h"
+#include "core/solve_context.h"
+#include "core/solver.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace ses::core {
+namespace {
+
+/// Bitwise double equality: distinguishes -0.0 from 0.0 and would
+/// surface NaN-payload drift, which `==` cannot.
+::testing::AssertionResult BitEq(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::hex
+         << std::bit_cast<uint64_t>(a) << " vs "
+         << std::bit_cast<uint64_t>(b) << ")";
+}
+
+::testing::AssertionResult BitEqF(float a, float b) {
+  if (std::bit_cast<uint32_t>(a) == std::bit_cast<uint32_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::hex
+         << std::bit_cast<uint32_t>(a) << " vs "
+         << std::bit_cast<uint32_t>(b) << ")";
+}
+
+template <typename T>
+std::vector<T> ToVec(std::span<const T> s) {
+  return std::vector<T>(s.begin(), s.end());
+}
+
+/// The scalar reference implementations: these are the pre-kernel
+/// loops from attendance.cc, kept verbatim so the harness can detect
+/// any numeric drift a future kernel rewrite introduces.
+namespace ref {
+
+double LuceGain(const std::vector<UserIndex>& users,
+                const std::vector<float>& values,
+                const std::vector<double>& denom,
+                const std::vector<double>& sched_mass,
+                const std::vector<float>& sigma) {
+  double gain = 0.0;
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserIndex u = users[i];
+    const double x = static_cast<double>(values[i]);
+    const double d = denom[u];
+    const double m = sched_mass[u];
+    const double term_new = (m + x) / (d + x);
+    const double term_old = d > 0.0 ? m / d : 0.0;
+    gain += static_cast<double>(sigma[u]) * (term_new - term_old);
+  }
+  return gain;
+}
+
+double LuceLoss(const std::vector<UserIndex>& users,
+                const std::vector<float>& values,
+                const std::vector<double>& denom,
+                const std::vector<double>& sched_mass,
+                const std::vector<float>& sigma) {
+  double loss = 0.0;
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserIndex u = users[i];
+    const double x = static_cast<double>(values[i]);
+    const double d = denom[u];
+    const double m = sched_mass[u];
+    const double term_with = d > 0.0 ? m / d : 0.0;
+    const double d_without = d - x;
+    const double m_without = m - x;
+    const double term_without =
+        d_without > 1e-12 ? (m_without > 0.0 ? m_without / d_without : 0.0)
+                          : 0.0;
+    loss += static_cast<double>(sigma[u]) * (term_with - term_without);
+  }
+  return loss;
+}
+
+// The touched-list recording rule carries the kernels' dedup-mask
+// semantics: record a user at most once per load (the SoA `touched`
+// array is a strict-|U| buffer, so duplicate recording — possible when
+// apply/unapply churn clamps a user's mass back to exactly zero — is
+// deduplicated by the byte mask). Recording affects only which entries
+// get cleared on unload, never a numeric result.
+
+void AccumulateMass(const std::vector<UserIndex>& users,
+                    const std::vector<float>& values,
+                    std::vector<double>& denom,
+                    std::vector<double>* sched_mass,
+                    std::vector<UserIndex>& touched,
+                    std::vector<uint8_t>& in_touched) {
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserIndex u = users[i];
+    if (denom[u] == 0.0 && in_touched[u] == 0) {
+      in_touched[u] = 1;
+      touched.push_back(u);
+    }
+    denom[u] += static_cast<double>(values[i]);
+    if (sched_mass != nullptr) {
+      (*sched_mass)[u] += static_cast<double>(values[i]);
+    }
+  }
+}
+
+void TouchMass(const std::vector<UserIndex>& users,
+               const std::vector<float>& values, double sign,
+               std::vector<double>& denom, std::vector<double>& sched_mass,
+               std::vector<UserIndex>& touched,
+               std::vector<uint8_t>& in_touched) {
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserIndex u = users[i];
+    const double mu = sign * static_cast<double>(values[i]);
+    if (denom[u] == 0.0 && mu > 0.0 && in_touched[u] == 0) {
+      in_touched[u] = 1;
+      touched.push_back(u);
+    }
+    denom[u] += mu;
+    sched_mass[u] += mu;
+    if (denom[u] < 0.0) denom[u] = 0.0;
+    if (sched_mass[u] < 0.0) sched_mass[u] = 0.0;
+  }
+}
+
+}  // namespace ref
+
+/// One random sparse row over `num_users` users: sorted unique user
+/// indices with interest values in the instance-realistic range.
+struct SparseRow {
+  std::vector<UserIndex> users;
+  std::vector<float> values;
+};
+
+SparseRow RandomRow(util::Rng& rng, uint32_t num_users, double density) {
+  SparseRow row;
+  for (UserIndex u = 0; u < num_users; ++u) {
+    if (rng.Bernoulli(density)) {
+      row.users.push_back(u);
+      row.values.push_back(static_cast<float>(rng.UniformDouble(0.05, 1.0)));
+    }
+  }
+  return row;
+}
+
+/// Random dense per-user state with realistic structure: a fraction of
+/// users has zero mass (exercises the D == 0 branches) and M <= D.
+void RandomState(util::Rng& rng, uint32_t num_users,
+                 std::vector<double>& denom, std::vector<double>& sched_mass,
+                 std::vector<float>& sigma) {
+  denom.assign(num_users, 0.0);
+  sched_mass.assign(num_users, 0.0);
+  sigma.assign(num_users, 0.0f);
+  for (UserIndex u = 0; u < num_users; ++u) {
+    sigma[u] = static_cast<float>(rng.UniformDouble(0.0, 1.0));
+    if (rng.Bernoulli(0.3)) continue;  // untouched user: D = M = 0
+    const double c = rng.UniformDouble(0.0, 3.0);
+    const double m = rng.Bernoulli(0.5) ? rng.UniformDouble(0.0, 2.0) : 0.0;
+    denom[u] = c + m;
+    sched_mass[u] = m;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 1: every kernel vs its scalar reference, bit-identical, over raw
+// arrays (seed-swept; n == 0 rows cover the |U| = 0 degenerate shape).
+// ---------------------------------------------------------------------------
+
+TEST(KernelDiffTest, LuceGainBitIdenticalToReference) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    util::Rng rng(seed);
+    const uint32_t num_users = seed == 0 ? 1 : 1 + rng.NextBounded(200);
+    std::vector<double> denom, sched;
+    std::vector<float> sigma;
+    RandomState(rng, num_users, denom, sched, sigma);
+    // density 0.0 on the first seed gives the empty row (n == 0).
+    const double density = seed == 0 ? 0.0 : rng.UniformDouble(0.1, 1.0);
+    const SparseRow row = RandomRow(rng, num_users, density);
+
+    const double kernel = kernels::LuceGain(
+        row.users.data(), row.values.data(), row.users.size(), denom.data(),
+        sched.data(), sigma.data());
+    const double reference =
+        ref::LuceGain(row.users, row.values, denom, sched, sigma);
+    EXPECT_TRUE(BitEq(kernel, reference)) << "seed " << seed;
+  }
+}
+
+TEST(KernelDiffTest, LuceLossBitIdenticalToReference) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    util::Rng rng(seed);
+    const uint32_t num_users = 1 + rng.NextBounded(200);
+    std::vector<double> denom, sched;
+    std::vector<float> sigma;
+    RandomState(rng, num_users, denom, sched, sigma);
+    const SparseRow row =
+        RandomRow(rng, num_users, rng.UniformDouble(0.1, 1.0));
+    // Fold the row in first so the loss has real mass to remove, as in
+    // Unapply (exercises the d_without guard via full cancellation on
+    // users whose only mass is this row).
+    for (size_t i = 0; i < row.users.size(); ++i) {
+      denom[row.users[i]] += static_cast<double>(row.values[i]);
+      sched[row.users[i]] += static_cast<double>(row.values[i]);
+    }
+
+    const double kernel = kernels::LuceLoss(
+        row.users.data(), row.values.data(), row.users.size(), denom.data(),
+        sched.data(), sigma.data());
+    const double reference =
+        ref::LuceLoss(row.users, row.values, denom, sched, sigma);
+    EXPECT_TRUE(BitEq(kernel, reference)) << "seed " << seed;
+  }
+}
+
+TEST(KernelDiffTest, AccumulateMassBitIdenticalToReference) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    for (const bool with_sched : {false, true}) {
+      util::Rng rng(seed);
+      const uint32_t num_users = 1 + rng.NextBounded(100);
+      std::vector<double> ref_denom(num_users, 0.0);
+      std::vector<double> ref_sched(num_users, 0.0);
+      std::vector<UserIndex> ref_touched;
+      std::vector<uint8_t> ref_mask(num_users, 0);
+      std::vector<double> soa_denom(num_users, 0.0);
+      std::vector<double> soa_sched(num_users, 0.0);
+      std::vector<UserIndex> soa_touched(num_users, 0);
+      std::vector<uint8_t> soa_mask(num_users, 0);
+      size_t num_touched = 0;
+
+      // Several overlapping rows, as LoadInterval folds several
+      // competing/scheduled rows into the same scratch.
+      for (int r = 0; r < 4; ++r) {
+        const SparseRow row =
+            RandomRow(rng, num_users, rng.UniformDouble(0.0, 0.8));
+        ref::AccumulateMass(row.users, row.values, ref_denom,
+                            with_sched ? &ref_sched : nullptr, ref_touched,
+                            ref_mask);
+        num_touched = kernels::AccumulateMass(
+            row.users.data(), row.values.data(), row.users.size(),
+            soa_denom.data(), with_sched ? soa_sched.data() : nullptr,
+            soa_touched.data(), soa_mask.data(), num_touched);
+      }
+
+      ASSERT_EQ(num_touched, ref_touched.size()) << "seed " << seed;
+      for (size_t i = 0; i < num_touched; ++i) {
+        EXPECT_EQ(soa_touched[i], ref_touched[i]) << "seed " << seed;
+      }
+      for (UserIndex u = 0; u < num_users; ++u) {
+        EXPECT_TRUE(BitEq(soa_denom[u], ref_denom[u])) << "seed " << seed;
+        EXPECT_TRUE(BitEq(soa_sched[u], ref_sched[u])) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(KernelDiffTest, TouchMassBitIdenticalToReference) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    util::Rng rng(seed);
+    const uint32_t num_users = 1 + rng.NextBounded(100);
+    std::vector<double> ref_denom(num_users, 0.0);
+    std::vector<double> ref_sched(num_users, 0.0);
+    std::vector<UserIndex> ref_touched;
+    std::vector<uint8_t> ref_mask(num_users, 0);
+    std::vector<double> soa_denom(num_users, 0.0);
+    std::vector<double> soa_sched(num_users, 0.0);
+    std::vector<UserIndex> soa_touched(num_users, 0);
+    std::vector<uint8_t> soa_mask(num_users, 0);
+    size_t num_touched = 0;
+
+    // Apply/unapply churn: add rows, remove some of them again — the
+    // remove path exercises the negative-residue clamps.
+    std::vector<SparseRow> applied;
+    for (int step = 0; step < 6; ++step) {
+      const bool remove = !applied.empty() && rng.Bernoulli(0.4);
+      SparseRow row;
+      double sign;
+      if (remove) {
+        row = applied.back();
+        applied.pop_back();
+        sign = -1.0;
+      } else {
+        row = RandomRow(rng, num_users, rng.UniformDouble(0.1, 0.8));
+        applied.push_back(row);
+        sign = +1.0;
+      }
+      ref::TouchMass(row.users, row.values, sign, ref_denom, ref_sched,
+                     ref_touched, ref_mask);
+      num_touched = kernels::TouchMass(
+          row.users.data(), row.values.data(), row.users.size(), sign,
+          soa_denom.data(), soa_sched.data(), soa_touched.data(),
+          soa_mask.data(), num_touched);
+    }
+
+    ASSERT_EQ(num_touched, ref_touched.size()) << "seed " << seed;
+    for (size_t i = 0; i < num_touched; ++i) {
+      EXPECT_EQ(soa_touched[i], ref_touched[i]) << "seed " << seed;
+    }
+    for (UserIndex u = 0; u < num_users; ++u) {
+      EXPECT_TRUE(BitEq(soa_denom[u], ref_denom[u])) << "seed " << seed;
+      EXPECT_TRUE(BitEq(soa_sched[u], ref_sched[u])) << "seed " << seed;
+    }
+  }
+}
+
+TEST(KernelDiffTest, ScatterMassesReplaysExactDoubles) {
+  util::Rng rng(7);
+  const uint32_t num_users = 64;
+  std::vector<UserIndex> users;
+  std::vector<double> masses;
+  for (UserIndex u = 0; u < num_users; ++u) {
+    if (!rng.Bernoulli(0.5)) continue;
+    users.push_back(u);
+    masses.push_back(rng.UniformDouble(1e-9, 5.0));
+  }
+  std::vector<double> denom(num_users, 0.0);
+  std::vector<UserIndex> touched(num_users, 0);
+  std::vector<uint8_t> mask(num_users, 0);
+  const size_t n = kernels::ScatterMasses(users.data(), masses.data(),
+                                          users.size(), denom.data(),
+                                          touched.data(), mask.data());
+  ASSERT_EQ(n, users.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i], users[i]);
+    EXPECT_EQ(mask[users[i]], 1);
+    EXPECT_TRUE(BitEq(denom[users[i]], masses[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 1b: sigma fill kernels vs per-element evaluation, bit-identical,
+// for every provider (the base-class fallback included).
+// ---------------------------------------------------------------------------
+
+TEST(KernelDiffTest, SigmaFillKernelsBitIdenticalToPerElement) {
+  const uint32_t num_users = 157;  // deliberately not a SIMD multiple
+  std::vector<float> bulk(num_users);
+
+  for (uint64_t seed : {1ULL, 99ULL, 0xDEADBEEFULL}) {
+    for (IntervalIndex t = 0; t < 4; ++t) {
+      kernels::FillSigmaHash(seed, t, bulk);
+      for (UserIndex u = 0; u < num_users; ++u) {
+        EXPECT_TRUE(BitEqF(
+            bulk[u], static_cast<float>(kernels::HashSigma(seed, u, t))));
+      }
+    }
+  }
+
+  kernels::FillSigmaConst(0.37f, bulk);
+  for (float v : bulk) EXPECT_TRUE(BitEqF(v, 0.37f));
+
+  util::Rng rng(3);
+  std::vector<float> dense_row(num_users);
+  for (float& v : dense_row) {
+    v = static_cast<float>(rng.UniformDouble(0.0, 1.0));
+  }
+  kernels::CopySigmaRow(dense_row, bulk);
+  for (UserIndex u = 0; u < num_users; ++u) {
+    EXPECT_TRUE(BitEqF(bulk[u], dense_row[u]));
+  }
+
+  // n == 0 spans are valid no-ops for every fill.
+  std::span<float> empty;
+  kernels::FillSigmaHash(1, 0, empty);
+  kernels::FillSigmaConst(0.5f, empty);
+  kernels::CopySigmaRow(dense_row, empty);
+}
+
+// ---------------------------------------------------------------------------
+// Tier 2: the kernel-backed AttendanceModel vs a scalar from-scratch
+// recompute, bit-identical, swept over sigma providers × shapes ×
+// seeds.
+// ---------------------------------------------------------------------------
+
+enum class SigmaKind { kConst, kDense, kHashUniform };
+
+const char* Name(SigmaKind kind) {
+  switch (kind) {
+    case SigmaKind::kConst: return "Const";
+    case SigmaKind::kDense: return "Dense";
+    case SigmaKind::kHashUniform: return "HashUniform";
+  }
+  return "?";
+}
+
+/// MakeRandomInstance with a selectable sigma provider (the shared
+/// helper is hard-wired to HashUniformSigma).
+SesInstance MakeInstanceWithSigma(const test::RandomInstanceConfig& config,
+                                  SigmaKind kind) {
+  util::Rng rng(config.seed);
+  InstanceBuilder builder;
+  builder.SetNumUsers(config.num_users)
+      .SetNumIntervals(config.num_intervals)
+      .SetTheta(config.theta);
+  switch (kind) {
+    case SigmaKind::kConst:
+      builder.SetSigma(std::make_shared<ConstSigma>(0.6));
+      break;
+    case SigmaKind::kDense: {
+      std::vector<std::vector<float>> rows(
+          config.num_intervals, std::vector<float>(config.num_users));
+      for (auto& row : rows) {
+        for (float& v : row) {
+          v = static_cast<float>(rng.UniformDouble(0.0, 1.0));
+        }
+      }
+      builder.SetSigma(std::make_shared<DenseSigma>(std::move(rows)));
+      break;
+    }
+    case SigmaKind::kHashUniform:
+      builder.SetSigma(std::make_shared<HashUniformSigma>(config.seed));
+      break;
+  }
+
+  auto random_row = [&rng, &config] {
+    std::vector<std::pair<UserIndex, float>> row;
+    for (UserIndex u = 0; u < config.num_users; ++u) {
+      if (rng.Bernoulli(config.interest_density)) {
+        row.push_back({u, static_cast<float>(rng.UniformDouble(0.05, 1.0))});
+      }
+    }
+    return row;
+  };
+  for (uint32_t e = 0; e < config.num_events; ++e) {
+    builder.AddEvent(
+        static_cast<LocationId>(rng.NextBounded(config.num_locations)),
+        rng.UniformDouble(config.xi_min, config.xi_max), random_row());
+  }
+  for (uint32_t t = 0; t < config.num_intervals; ++t) {
+    const int count = util::PoissonSample(rng, config.competing_per_interval);
+    for (int c = 0; c < count; ++c) builder.AddCompetingEvent(t, random_row());
+  }
+  auto instance = builder.Build();
+  SES_CHECK(instance.ok()) << instance.status().ToString();
+  return std::move(instance).value();
+}
+
+/// Scalar from-scratch recompute of MarginalGain(e, t): rebuilds D/M by
+/// the reference accumulation loops in the exact order LoadInterval
+/// folds rows (competing rows in CompetingAt order, then scheduled
+/// events in EventsAt order), then sums the reference gain loop.
+double RefMarginalGain(const SesInstance& instance, const Schedule& schedule,
+                       EventIndex e, IntervalIndex t) {
+  const uint32_t num_users = instance.num_users();
+  std::vector<double> denom(num_users, 0.0);
+  std::vector<double> sched(num_users, 0.0);
+  std::vector<UserIndex> touched;
+  std::vector<uint8_t> mask(num_users, 0);
+  for (CompetingIndex c : instance.CompetingAt(t)) {
+    ref::AccumulateMass(ToVec(instance.CompetingUsers(c)),
+                        ToVec(instance.CompetingValues(c)), denom, nullptr,
+                        touched, mask);
+  }
+  for (EventIndex p : schedule.EventsAt(t)) {
+    ref::AccumulateMass(ToVec(instance.EventUsers(p)),
+                        ToVec(instance.EventValues(p)), denom, &sched,
+                        touched, mask);
+  }
+  std::vector<float> sigma(num_users);
+  instance.sigma().FillInterval(t, sigma);
+  return ref::LuceGain(ToVec(instance.EventUsers(e)),
+                       ToVec(instance.EventValues(e)), denom, sched, sigma);
+}
+
+/// Drives one instance: applies a few assignments, then sweeps every
+/// unassigned (e, t) cell comparing the model bitwise against the
+/// scalar recompute and within tolerance against the objective.h
+/// oracle.
+void RunModelDiff(const SesInstance& instance, uint64_t seed,
+                  const char* label) {
+  AttendanceModel model(instance);
+  util::Rng rng(seed ^ 0xABCDULL);
+  // Apply up to half the events wherever feasible, so the sweep sees
+  // non-trivial scheduled mass (M > 0) in most intervals.
+  for (EventIndex e = 0; e < instance.num_events(); e += 2) {
+    const IntervalIndex t =
+        static_cast<IntervalIndex>(rng.NextBounded(instance.num_intervals()));
+    if (model.CanAssign(e, t)) model.Apply(e, t);
+  }
+
+  for (IntervalIndex t = 0; t < instance.num_intervals(); ++t) {
+    for (EventIndex e = 0; e < instance.num_events(); ++e) {
+      if (model.schedule().IsAssigned(e)) continue;
+      const double fast = model.MarginalGain(e, t);
+      const double scalar =
+          RefMarginalGain(instance, model.schedule(), e, t);
+      EXPECT_TRUE(BitEq(fast, scalar))
+          << label << " seed " << seed << " e=" << e << " t=" << t;
+      // Tolerance tier: the oracle associates differently, so compare
+      // relatively at the pre-existing 1e-6 pin.
+      const double oracle =
+          AssignmentScore(instance, model.schedule(), e, t);
+      const double denom_tol = std::max(1.0, std::abs(fast));
+      EXPECT_NEAR(fast, oracle, 1e-6 * denom_tol)
+          << label << " seed " << seed << " e=" << e << " t=" << t;
+    }
+  }
+}
+
+TEST(KernelDiffTest, ModelMatchesScalarRecomputeAcrossSigmaProviders) {
+  for (const SigmaKind kind :
+       {SigmaKind::kConst, SigmaKind::kDense, SigmaKind::kHashUniform}) {
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      test::RandomInstanceConfig config;
+      config.seed = seed;
+      SesInstance instance = MakeInstanceWithSigma(config, kind);
+      RunModelDiff(instance, seed, Name(kind));
+    }
+  }
+}
+
+TEST(KernelDiffTest, ModelMatchesScalarRecomputeOnDegenerateShapes) {
+  // |U| = 1: every row is either empty or the single user.
+  // (|U| = 0 is rejected by InstanceBuilder — covered at kernel level
+  // by the n == 0 sweeps above.)
+  {
+    test::RandomInstanceConfig config;
+    config.num_users = 1;
+    config.interest_density = 1.0;
+    SesInstance instance =
+        MakeInstanceWithSigma(config, SigmaKind::kHashUniform);
+    RunModelDiff(instance, config.seed, "single-user");
+  }
+  // Single interval: every event competes for the same scratch; the
+  // model never reloads, so the sweep runs against TouchLoaded-updated
+  // state rather than fresh folds.
+  {
+    test::RandomInstanceConfig config;
+    config.num_intervals = 1;
+    SesInstance instance = MakeInstanceWithSigma(config, SigmaKind::kDense);
+    RunModelDiff(instance, config.seed, "single-interval");
+  }
+  // All users interested in everything: dense rows, no D == 0 cells
+  // once anything is scheduled.
+  {
+    test::RandomInstanceConfig config;
+    config.interest_density = 1.0;
+    SesInstance instance = MakeInstanceWithSigma(config, SigmaKind::kConst);
+    RunModelDiff(instance, config.seed, "all-interested");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tier 3: sharded score generation stays bit-identical across thread
+// counts on the kernel-backed model.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDiffTest, ShardedScoreGenerationBitIdenticalAcrossThreads) {
+  const SesInstance instance = test::MakeMediumInstance(11);
+  const size_t cells = static_cast<size_t>(instance.num_events()) *
+                       instance.num_intervals();
+  SolveContext context;
+
+  std::vector<double> serial(cells, 0.0);
+  {
+    SolverOptions options;
+    options.threads = 1;
+    const ScoreGenResult result =
+        GenerateAssignmentScores(instance, options, context, serial);
+    ASSERT_TRUE(result.termination.ok());
+  }
+  std::vector<double> sharded(cells, 0.0);
+  {
+    SolverOptions options;
+    options.threads = 4;
+    const ScoreGenResult result =
+        GenerateAssignmentScores(instance, options, context, sharded);
+    ASSERT_TRUE(result.termination.ok());
+  }
+  for (size_t i = 0; i < cells; ++i) {
+    EXPECT_TRUE(BitEq(serial[i], sharded[i])) << "cell " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ses::core

@@ -70,6 +70,63 @@ TEST(HashUniformSigmaTest, FillIntervalMatchesAt) {
   }
 }
 
+// Bulk-fill / per-element equivalence: every provider's FillInterval
+// must produce exactly the float At would have produced, bit for bit —
+// AttendanceModel only ever sees rows through the bulk path, so any
+// drift here silently changes every solver result. The kernel-level
+// counterpart (bulk kernels vs scalar loops) lives in
+// tests/core_kernel_diff_test.cc.
+void ExpectFillMatchesAt(const SigmaProvider& provider, size_t num_users,
+                         IntervalIndex num_intervals) {
+  std::vector<float> row(num_users);
+  for (IntervalIndex t = 0; t < num_intervals; ++t) {
+    provider.FillInterval(t, row);
+    for (UserIndex u = 0; u < num_users; ++u) {
+      const float bulk = row[u];
+      const float scalar = static_cast<float>(provider.At(u, t));
+      // EXPECT_EQ, not EXPECT_FLOAT_EQ: exact equality, no ULP slack.
+      EXPECT_EQ(bulk, scalar) << "u=" << u << " t=" << t;
+    }
+  }
+}
+
+TEST(ConstSigmaTest, FillIntervalBitMatchesAt) {
+  ConstSigma sigma(0.37);
+  ExpectFillMatchesAt(sigma, 100, 3);
+}
+
+TEST(DenseSigmaTest, FillIntervalBitMatchesAt) {
+  std::vector<std::vector<float>> rows(3, std::vector<float>(64));
+  uint32_t state = 12345;
+  for (auto& row : rows) {
+    for (float& v : row) {
+      state = state * 1664525u + 1013904223u;
+      v = static_cast<float>(state >> 8) /
+          static_cast<float>(1u << 24);  // [0, 1)
+    }
+  }
+  DenseSigma sigma(rows);
+  ExpectFillMatchesAt(sigma, 64, 3);
+}
+
+TEST(HashUniformSigmaTest, FillIntervalBitMatchesAt) {
+  HashUniformSigma sigma(0xFEEDULL);
+  ExpectFillMatchesAt(sigma, 257, 4);  // not a SIMD-width multiple
+}
+
+TEST(SigmaProviderTest, BaseFallbackFillBitMatchesAt) {
+  // A provider without its own FillInterval gets the base-class At
+  // loop; the equivalence must hold there too.
+  class Ramp final : public SigmaProvider {
+   public:
+    double At(UserIndex u, IntervalIndex t) const override {
+      return (static_cast<double>(u) + t) / 1000.0;
+    }
+  };
+  Ramp ramp;
+  ExpectFillMatchesAt(ramp, 33, 2);
+}
+
 TEST(SigmaProviderTest, DefaultFillIntervalUsesAt) {
   // Exercise the base-class FillInterval through a minimal provider.
   class Ramp final : public SigmaProvider {

@@ -163,6 +163,88 @@ class CompareTest(unittest.TestCase):
         self.assertIn("+25.0%", text)
 
 
+def make_micro_dump(gain_ns=120.0, fill_ns=90.0, items=3.0e10,
+                    time_unit="ns"):
+    """A minimal google-benchmark JSON dump with one aggregate entry."""
+    return {
+        "context": {"executable": "micro_attendance"},
+        "benchmarks": [
+            {"name": "BM_KernelLuceGain", "run_type": "iteration",
+             "iterations": 1000, "real_time": gain_ns, "cpu_time": gain_ns,
+             "time_unit": time_unit, "items_per_second": items},
+            {"name": "BM_KernelFillSigmaHash", "run_type": "iteration",
+             "iterations": 1000, "real_time": fill_ns, "cpu_time": fill_ns,
+             "time_unit": time_unit},
+            {"name": "BM_KernelLuceGain_mean", "run_type": "aggregate",
+             "iterations": 3, "real_time": gain_ns, "cpu_time": gain_ns,
+             "time_unit": time_unit},
+        ],
+    }
+
+
+class MicroReportTest(unittest.TestCase):
+    def test_normalizes_and_drops_aggregates(self):
+        report = rb.micro_report(make_micro_dump())
+        self.assertEqual(set(report["benchmarks"]),
+                         {"BM_KernelLuceGain", "BM_KernelFillSigmaHash"})
+        gain = report["benchmarks"]["BM_KernelLuceGain"]
+        self.assertEqual(gain["real_time_ns"], 120.0)
+        self.assertEqual(gain["items_per_second"], 3.0e10)
+        # items_per_second is optional per benchmark.
+        fill = report["benchmarks"]["BM_KernelFillSigmaHash"]
+        self.assertIsNone(fill["items_per_second"])
+
+    def test_time_unit_converted_to_ns(self):
+        report = rb.micro_report(make_micro_dump(gain_ns=2.5,
+                                                 time_unit="us"))
+        gain = report["benchmarks"]["BM_KernelLuceGain"]
+        self.assertEqual(gain["real_time_ns"], 2500.0)
+
+    def test_empty_dump_raises(self):
+        with self.assertRaises(ValueError):
+            rb.micro_report({"benchmarks": []})
+
+    def test_reports_fold_through_median_tree(self):
+        reports = [rb.micro_report(make_micro_dump(gain_ns=ns))
+                   for ns in (100.0, 140.0, 120.0)]
+        merged = rb.median_tree(reports)
+        self.assertEqual(
+            merged["benchmarks"]["BM_KernelLuceGain"]["real_time_ns"],
+            120.0)
+
+
+class MicroLeaderboardAndCompareTest(unittest.TestCase):
+    def canonical(self, gain_ns):
+        return {"scenario": rb.MICRO_SCENARIO, "size": "micro",
+                "repeats": 1,
+                "report": rb.micro_report(make_micro_dump(gain_ns=gain_ns))}
+
+    def test_leaderboard_lists_every_benchmark(self):
+        board = rb.render_micro_leaderboard(self.canonical(120.0))
+        self.assertIn("BM_KernelLuceGain", board)
+        self.assertIn("BM_KernelFillSigmaHash", board)
+        self.assertIn("120.0", board)
+
+    def test_compare_rows_report_real_time_ratio(self):
+        rows = {key: (o, n, ratio) for key, o, n, ratio
+                in rb.micro_compare_rows(self.canonical(100.0),
+                                         self.canonical(80.0))}
+        o, n, ratio = rows["BM_KernelLuceGain ns"]
+        self.assertEqual((o, n), (100.0, 80.0))
+        self.assertAlmostEqual(ratio, -0.2)
+        text = rb.render_compare(rb.MICRO_SCENARIO,
+                                 rb.micro_compare_rows(self.canonical(100.0),
+                                                       self.canonical(80.0)))
+        self.assertIn("-20.0%", text)
+
+    def test_compare_skips_benchmarks_missing_on_one_side(self):
+        old = self.canonical(100.0)
+        del old["report"]["benchmarks"]["BM_KernelFillSigmaHash"]
+        keys = {key for key, _, _, _
+                in rb.micro_compare_rows(old, self.canonical(90.0))}
+        self.assertEqual(keys, {"BM_KernelLuceGain ns"})
+
+
 class TraceDiscoveryTest(unittest.TestCase):
     def test_list_traces_sorted_json_only(self):
         with tempfile.TemporaryDirectory() as tmp:

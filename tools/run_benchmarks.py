@@ -11,6 +11,13 @@ Workflow (docs/BENCHMARKS.md):
     python3 tools/run_benchmarks.py --size=S           # quick pass
     python3 tools/run_benchmarks.py --repeat=5         # canonical run
     python3 tools/run_benchmarks.py --compare=HEAD~1   # regression diff
+    python3 tools/run_benchmarks.py --micro            # kernel microbench
+
+`--micro` swaps the trace harness for bench/micro_attendance.cc (the
+google-benchmark binary over the attendance-model and SoA span
+kernels) and lands the medianed numbers in BENCH_micro_attendance.json
+with the same repeat/median/pin/compare machinery — kernel before/after
+numbers live in a committed canonical file, not PR prose.
 
 Methodology:
   * clean, test-free build into build-bench/ (skip with --no-build);
@@ -34,6 +41,9 @@ TRACE_DIR = os.path.join(REPO_ROOT, "bench", "traces")
 DEFAULT_BUILD_DIR = os.path.join(REPO_ROOT, "build-bench")
 
 SIZES = ("S", "M", "L")
+
+MICRO_SCENARIO = "micro_attendance"
+MICRO_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def list_traces(trace_dir=TRACE_DIR):
@@ -190,6 +200,96 @@ def load_git_canonical(ref, scenario, repo_root=REPO_ROOT):
     return json.loads(proc.stdout)
 
 
+def micro_report(raw):
+    """Normalizes one google-benchmark JSON dump into a BENCH report.
+
+    Keeps only per-iteration entries (no aggregates), converts times to
+    nanoseconds via the per-benchmark time_unit, and carries
+    items_per_second through when the benchmark reported it. The result
+    is a plain {"benchmarks": {name: {...}}} tree that median_tree can
+    fold across repeats.
+    """
+    benchmarks = {}
+    for entry in raw.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        factor = MICRO_TIME_UNIT_NS[entry.get("time_unit", "ns")]
+        benchmarks[entry["name"]] = {
+            "real_time_ns": entry["real_time"] * factor,
+            "cpu_time_ns": entry["cpu_time"] * factor,
+            "items_per_second": entry.get("items_per_second"),
+        }
+    if not benchmarks:
+        raise ValueError("benchmark dump contains no iteration entries")
+    return {"benchmarks": benchmarks}
+
+
+def micro_summary_rows(canonical):
+    """(name, real_time_ns, cpu_time_ns, items_per_second) per kernel."""
+    rows = []
+    for name in sorted(canonical["report"]["benchmarks"]):
+        entry = canonical["report"]["benchmarks"][name]
+        rows.append((name, entry["real_time_ns"], entry["cpu_time_ns"],
+                     entry.get("items_per_second")))
+    return rows
+
+
+def render_micro_leaderboard(canonical):
+    """Fixed-width per-benchmark table for one micro canonical tree."""
+    header = (f"{'benchmark':<32} {'real ns':>12} {'cpu ns':>12} "
+              f"{'items/s':>12}")
+    lines = [header, "-" * len(header)]
+    for name, real_ns, cpu_ns, items in micro_summary_rows(canonical):
+        items_text = "-" if items is None else f"{items:.3e}"
+        lines.append(f"{name:<32} {real_ns:>12.1f} {cpu_ns:>12.1f} "
+                     f"{items_text:>12}")
+    return "\n".join(lines)
+
+
+def micro_compare_rows(old_canonical, new_canonical):
+    """Per-benchmark real-time rows in the compare_rows tuple shape.
+
+    Benchmarks present on only one side are skipped — a renamed or new
+    kernel has no baseline to diff against.
+    """
+    old_benchmarks = old_canonical["report"]["benchmarks"]
+    new_benchmarks = new_canonical["report"]["benchmarks"]
+    rows = []
+    for name in sorted(set(old_benchmarks) & set(new_benchmarks)):
+        old_ns = old_benchmarks[name]["real_time_ns"]
+        new_ns = new_benchmarks[name]["real_time_ns"]
+        ratio = None if old_ns == 0 else (new_ns - old_ns) / old_ns
+        rows.append((f"{name} ns", old_ns, new_ns, ratio))
+    return rows
+
+
+def build_micro(build_dir):
+    """Configures and builds the micro_attendance benchmark binary."""
+    subprocess.run(
+        ["cmake", "-B", build_dir, "-S", REPO_ROOT,
+         "-DCMAKE_BUILD_TYPE=RelWithDebInfo", "-DBUILD_TESTING=OFF"],
+        check=True)
+    subprocess.run(
+        ["cmake", "--build", build_dir, "--target", "micro_attendance",
+         "-j", str(os.cpu_count() or 2)],
+        check=True)
+
+
+def run_micro(binary, repeats, tmp_dir, no_pin):
+    """Runs the micro binary N times; returns normalized reports."""
+    reports = []
+    for repeat in range(repeats):
+        out = os.path.join(tmp_dir, f"micro_{repeat}.json")
+        subprocess.run(
+            pin_prefix(no_pin) + [
+                binary, f"--benchmark_out={out}",
+                "--benchmark_out_format=json"],
+            check=True)
+        with open(out, encoding="utf-8") as fh:
+            reports.append(micro_report(json.load(fh)))
+    return reports
+
+
 def pin_prefix(no_pin):
     """taskset prefix for a stable-frequency core, when available."""
     if no_pin or shutil.which("taskset") is None:
@@ -241,9 +341,40 @@ def main(argv=None):
     parser.add_argument("--compare", metavar="REF", default="",
                         help="diff fresh results against BENCH files at "
                              "this git ref instead of just writing them")
+    parser.add_argument("--micro", action="store_true",
+                        help="run bench/micro_attendance instead of traces "
+                             "and write BENCH_micro_attendance.json")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
+
+    if args.micro:
+        if args.traces:
+            parser.error("--micro and --traces are mutually exclusive")
+        if not args.no_build:
+            build_micro(args.build_dir)
+        binary = os.path.join(args.build_dir, "micro_attendance")
+        if not os.path.exists(binary):
+            parser.error(f"{binary} not found (build it or drop "
+                         "--no-build; requires google-benchmark)")
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp_dir:
+            print(f"== {MICRO_SCENARIO} ({args.repeat} repeat(s)) ==",
+                  flush=True)
+            reports = run_micro(binary, args.repeat, tmp_dir, args.no_pin)
+        path = write_canonical(MICRO_SCENARIO, "micro", reports)
+        print(f"wrote {os.path.relpath(path, REPO_ROOT)}\n")
+        canonical = json.load(open(path, encoding="utf-8"))
+        print(render_micro_leaderboard(canonical))
+        if args.compare:
+            print(f"\n-- compare vs {args.compare} --")
+            old = load_git_canonical(args.compare, MICRO_SCENARIO)
+            if old is None:
+                print(f"{MICRO_SCENARIO}: absent at {args.compare}")
+            else:
+                print(render_compare(
+                    MICRO_SCENARIO, micro_compare_rows(old, canonical)))
+        return 0
 
     traces = list_traces()
     if args.traces:
